@@ -1,0 +1,101 @@
+//! Criterion microbenches of the TMU engine and simulator internals:
+//! functional interpretation throughput, merge stepping, and the
+//! memory-hierarchy request path.
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tmu::{Event, LayerMode, MemImage, ProgramBuilder, StreamTy};
+use tmu_sim::{AddressMap, Deps, Machine, MemSys, MemSysConfig, Site, VecMachine};
+use tmu_tensor::gen;
+use tmu_tensor::merge::{DisjunctiveMerge, FiberSlice};
+
+/// Functional interpreter throughput on an SpMV-shaped program.
+fn interp_spmv(c: &mut Criterion) {
+    let m = gen::uniform(512, 512, 8, 1);
+    let mut map = AddressMap::new();
+    let ptrs_r = map.alloc_elems("p", m.row_ptrs().len(), 4);
+    let idxs_r = map.alloc_elems("i", m.nnz(), 4);
+    let vals_r = map.alloc_elems("v", m.nnz(), 8);
+    let mut image = MemImage::new();
+    image.bind_u32(ptrs_r, Arc::new(m.row_ptrs().to_vec()));
+    image.bind_u32(idxs_r, Arc::new(m.col_idxs().to_vec()));
+    image.bind_f64(vals_r, Arc::new(m.vals().to_vec()));
+    let mut b = ProgramBuilder::new();
+    let l0 = b.layer(LayerMode::Single);
+    let row = b.dns_fbrt(l0, 0, 512, 1);
+    let pb = b.mem_stream(row, ptrs_r.base, 4, StreamTy::Index);
+    let pe = b.mem_stream(row, ptrs_r.base + 4, 4, StreamTy::Index);
+    let l1 = b.layer(LayerMode::LockStep);
+    let mut ops = Vec::new();
+    for lane in 0..8 {
+        let col = b.rng_fbrt(l1, pb, pe, lane, 8);
+        ops.push(b.mem_stream(col, vals_r.base, 8, StreamTy::Value));
+    }
+    let op = b.vec_operand(l1, &ops);
+    b.callback(l1, Event::Ite, 0, &[op]);
+    let prog = Arc::new(b.build().expect("ok"));
+    let image = Arc::new(image);
+    c.bench_function("engine/interp_spmv_4k_nnz", |bch| {
+        bch.iter(|| tmu::run_functional(&prog, &image).len())
+    });
+}
+
+/// Reference k-way disjunctive merge throughput.
+fn reference_merge(c: &mut Criterion) {
+    let fibers: Vec<(Vec<u32>, Vec<f64>)> = (0..8)
+        .map(|s| {
+            let idxs: Vec<u32> = (0..512u32).map(|i| i * 8 + s).collect();
+            let vals: Vec<f64> = idxs.iter().map(|&i| i as f64).collect();
+            (idxs, vals)
+        })
+        .collect();
+    c.bench_function("engine/reference_8way_merge", |bch| {
+        bch.iter(|| {
+            let slices: Vec<FiberSlice> =
+                fibers.iter().map(|(i, v)| FiberSlice::new(i, v)).collect();
+            DisjunctiveMerge::new(slices).count()
+        })
+    });
+}
+
+/// Memory-hierarchy request path (miss storm through L1→L2→LLC→DRAM).
+fn memsys_requests(c: &mut Criterion) {
+    c.bench_function("sim/memsys_10k_misses", |bch| {
+        bch.iter(|| {
+            let mut m = MemSys::new(MemSysConfig::table5(1));
+            let mut done = 0u64;
+            for i in 0..10_000u64 {
+                done = done.max(m.read(0, Site(1), 0x100_0000 + i * 4096, 8, i));
+            }
+            done
+        })
+    });
+}
+
+/// Op-emission overhead of the machine abstraction.
+fn machine_emit(c: &mut Criterion) {
+    c.bench_function("sim/vec_machine_emit_100k", |bch| {
+        bch.iter(|| {
+            let mut m = VecMachine::new();
+            let mut last = m.int_op(Deps::NONE);
+            for i in 0..100_000u64 {
+                last = m.load(Site(2), 0x1000 + i * 8, 8, Deps::from(last));
+            }
+            m.take().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = interp_spmv, reference_merge, memsys_requests, machine_emit
+}
+criterion_main!(engine);

@@ -1,0 +1,127 @@
+//! Criterion benches: one per paper table/figure, on scaled-down inputs
+//! so `cargo bench` completes quickly. Each bench measures the wall time
+//! of regenerating the artifact's core measurement (a simulator run);
+//! the full-scale artifacts are produced by the `tmu-bench` binaries
+//! (`cargo run --release -p tmu-bench --bin all_figures`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tmu::TmuConfig;
+use tmu_kernels::mttkrp::{Mttkrp, MttkrpVariant};
+use tmu_kernels::pagerank::PageRank;
+use tmu_kernels::spkadd::Spkadd;
+use tmu_kernels::spmspm::Spmspm;
+use tmu_kernels::spmv::Spmv;
+use tmu_kernels::trianglecount::TriangleCount;
+use tmu_kernels::workload::Workload;
+use tmu_sim::{configs, CoreConfig, MemSysConfig, SystemConfig};
+use tmu_tensor::gen;
+
+fn small_sys() -> SystemConfig {
+    SystemConfig {
+        core: CoreConfig::neoverse_n1_like(),
+        mem: MemSysConfig::table5(2),
+    }
+}
+
+/// Figure 3: baseline stall profile on the A64FX-like machine.
+fn fig03_stall_profile(c: &mut Criterion) {
+    let w = Spmv::new(&gen::uniform(1024, 4096, 8, 1));
+    c.bench_function("fig03/spmv_baseline_a64fx_like", |b| {
+        b.iter(|| w.run_baseline(configs::a64fx_like()))
+    });
+}
+
+/// Figure 10 (left): SpMV baseline vs TMU.
+fn fig10_spmv(c: &mut Criterion) {
+    let w = Spmv::new(&gen::uniform(1024, 8192, 8, 2));
+    c.bench_function("fig10/spmv_baseline", |b| b.iter(|| w.run_baseline(small_sys())));
+    c.bench_function("fig10/spmv_tmu", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
+    });
+}
+
+/// Figure 10: the compute-intensive proxy.
+fn fig10_spmspm(c: &mut Criterion) {
+    let w = Spmspm::new(&gen::circuit(1024, 5, 3));
+    c.bench_function("fig10/spmspm_tmu", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
+    });
+}
+
+/// Figure 10: the merge-intensive proxy.
+fn fig10_spkadd(c: &mut Criterion) {
+    let w = Spkadd::new(&gen::uniform(2048, 512, 4, 4));
+    c.bench_function("fig10/spkadd_baseline", |b| b.iter(|| w.run_baseline(small_sys())));
+    c.bench_function("fig10/spkadd_tmu", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
+    });
+}
+
+/// Figure 10 (right): a tensor workload.
+fn fig10_mttkrp(c: &mut Criterion) {
+    let w = Mttkrp::new(&gen::random_tensor(&[256, 64, 48], 4000, 5), MttkrpVariant::Mp);
+    c.bench_function("fig10/mttkrp_tmu", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
+    });
+}
+
+/// Figure 11: breakdown measurement (PageRank, both phases).
+fn fig11_breakdown(c: &mut Criterion) {
+    let w = PageRank::new(&gen::rmat(9, 4096, 6));
+    c.bench_function("fig11/pagerank_tmu", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
+    });
+}
+
+/// Figure 13: read-to-write instrumentation (TC).
+fn fig13_read_to_write(c: &mut Criterion) {
+    let w = TriangleCount::new(&gen::rmat(9, 4096, 7));
+    c.bench_function("fig13/tc_tmu_outq", |b| {
+        b.iter(|| {
+            let run = w.run_tmu(small_sys(), TmuConfig::paper());
+            run.read_to_write_ratio()
+        })
+    });
+}
+
+/// Figure 14: one sensitivity point (4 KB, 256-bit SVE).
+fn fig14_sensitivity(c: &mut Criterion) {
+    let w = Spmv::new(&gen::uniform(1024, 8192, 8, 8));
+    let tmu = TmuConfig::paper().for_sve_bits(256).with_total_storage(4 << 10);
+    c.bench_function("fig14/spmv_4kb_256b", |b| {
+        b.iter(|| w.run_tmu(configs::neoverse_n1_with_sve(256), tmu))
+    });
+}
+
+/// Figure 15: IMP and single-lane comparators.
+fn fig15_comparators(c: &mut Criterion) {
+    let w = Spmv::new(&gen::uniform(1024, 8192, 8, 9));
+    c.bench_function("fig15/spmv_imp", |b| {
+        b.iter(|| w.run_baseline_imp(small_sys()))
+    });
+    c.bench_function("fig15/spmv_single_lane", |b| {
+        b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper().single_lane()))
+    });
+}
+
+/// §6 area table.
+fn area_model(c: &mut Criterion) {
+    c.bench_function("area/paper_config", |b| {
+        b.iter(|| tmu::area::area(&TmuConfig::paper()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = fig03_stall_profile, fig10_spmv, fig10_spmspm, fig10_spkadd,
+        fig10_mttkrp, fig11_breakdown, fig13_read_to_write, fig14_sensitivity,
+        fig15_comparators, area_model
+}
+criterion_main!(figures);

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run, sharing measured run pairs across figures. Reports land under
+//! `results/`.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    tmu_bench::figs::table06();
+    tmu_bench::figs::area_report();
+    tmu_bench::figs::verify_all();
+    tmu_bench::figs::fig03();
+    let mut cache = tmu_bench::figs::RunCache::new();
+    tmu_bench::figs::fig10(&mut cache);
+    tmu_bench::figs::fig11(&mut cache);
+    tmu_bench::figs::fig12(&mut cache);
+    tmu_bench::figs::fig13(&mut cache);
+    tmu_bench::figs::fig15(&mut cache);
+    tmu_bench::figs::fig14();
+    println!("all figures regenerated in {:.0}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `area` (see DESIGN.md §4).
+
+fn main() {
+    tmu_bench::figs::area_report();
+}

@@ -1,0 +1,37 @@
+//! Scale-sensitivity probe: how baseline/TMU cycles and speedups move with
+//! the `TMU_SCALE` input multiplier (bring-up tool, not a paper figure).
+
+use tmu::TmuConfig;
+use tmu_bench::{matrix_workload, tensor_workload};
+use tmu_sim::configs;
+use tmu_tensor::gen::InputId;
+
+fn main() {
+    let cfg = configs::neoverse_n1_system();
+    let tmu = TmuConfig::paper();
+    for s in ["0.25", "0.5", "1.0"] {
+        std::env::set_var("TMU_SCALE", s);
+        for (kind, id, name) in [
+            ("m", InputId::M3, "SpMV"),
+            ("m", InputId::M3, "SpMSpM"),
+            ("t", InputId::T2, "MTTKRP_MP"),
+        ] {
+            let w = if kind == "m" {
+                matrix_workload(name, id)
+            } else {
+                tensor_workload(name, id)
+            };
+            let t0 = std::time::Instant::now();
+            let base = w.run_baseline(cfg);
+            let run = w.run_tmu(cfg, tmu);
+            println!(
+                "scale={s} {name:<10} base={:>9} tmu={:>9} speedup={:.2}x base_l2u={:.0} wall={:.1}s",
+                base.cycles,
+                run.stats.cycles,
+                base.cycles as f64 / run.stats.cycles as f64,
+                base.avg_load_to_use(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig03` (see DESIGN.md §4).
+
+fn main() {
+    tmu_bench::figs::fig03();
+}

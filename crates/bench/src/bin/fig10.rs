@@ -1,0 +1,6 @@
+//! Figure 10: TMU speedups for linear and tensor algebra workloads.
+
+fn main() {
+    let mut cache = tmu_bench::figs::RunCache::new();
+    tmu_bench::figs::fig10(&mut cache);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `fig14` (see DESIGN.md §4).
+
+fn main() {
+    tmu_bench::figs::fig14();
+}

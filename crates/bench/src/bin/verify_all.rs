@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `verify_all` (see DESIGN.md §4).
+
+fn main() {
+    tmu_bench::figs::verify_all();
+}

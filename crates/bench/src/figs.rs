@@ -1,0 +1,501 @@
+//! Per-figure harness logic (one function per paper artifact).
+//!
+//! Figures 10–13 share the same underlying (baseline, TMU) run pairs, so
+//! a [`RunCache`] memoizes them; `all_figures` reuses one cache across
+//! every figure.
+
+use std::collections::HashMap;
+
+use tmu::{area::area, TmuConfig};
+use tmu_kernels::spkadd::Spkadd;
+use tmu_kernels::spmspm::Spmspm;
+use tmu_kernels::spmv::Spmv;
+use tmu_kernels::workload::{KernelKind, TmuRun, Workload};
+use tmu_sim::{configs, Roofline, RunStats};
+use tmu_tensor::gen::{self, InputId, ScaledInput};
+
+use crate::{geomean, matrix_workload, scale, tensor_workload, Report, MATRIX_KERNELS, TENSOR_KERNELS};
+
+/// One (baseline, TMU) measurement of a kernel on an input.
+#[derive(Debug)]
+pub struct PairResult {
+    /// Workload category.
+    pub kind: KernelKind,
+    /// Baseline run.
+    pub base: RunStats,
+    /// TMU-accelerated run.
+    pub tmu: TmuRun,
+}
+
+impl PairResult {
+    /// Speedup of the TMU version.
+    pub fn speedup(&self) -> f64 {
+        self.base.cycles as f64 / self.tmu.stats.cycles.max(1) as f64
+    }
+}
+
+/// Memoized (kernel, input) run pairs.
+#[derive(Default)]
+pub struct RunCache {
+    map: HashMap<(String, &'static str), PairResult>,
+}
+
+impl std::fmt::Debug for RunCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RunCache({} entries)", self.map.len())
+    }
+}
+
+impl RunCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn build(kernel: &str, input: InputId) -> Box<dyn Workload> {
+        if InputId::MATRICES.contains(&input) {
+            matrix_workload(kernel, input)
+        } else {
+            tensor_workload(kernel, input)
+        }
+    }
+
+    /// Returns (computing if needed) the run pair of `kernel` on `input`.
+    pub fn pair(&mut self, kernel: &str, input: InputId) -> &PairResult {
+        let key = (kernel.to_owned(), input.label());
+        self.map.entry(key).or_insert_with(|| {
+            eprintln!("  [run] {kernel} on {}", input.label());
+            let w = Self::build(kernel, input);
+            let cfg = configs::neoverse_n1_system();
+            let base = w.run_baseline(cfg);
+            let tmu = w.run_tmu(cfg, TmuConfig::paper());
+            PairResult {
+                kind: w.kind(),
+                base,
+                tmu,
+            }
+        })
+    }
+}
+
+fn inputs_for(kernel: &str) -> &'static [InputId] {
+    if MATRIX_KERNELS.contains(&kernel) {
+        &InputId::MATRICES
+    } else {
+        &InputId::TENSORS
+    }
+}
+
+/// Figure 3: motivation stall breakdown on the two profiled processors.
+pub fn fig03() {
+    let mut report = Report::new(
+        "fig03",
+        "normalized cycles stalling (frontend/backend) on A64FX-like vs Graviton3-like",
+    );
+    report.line(format!(
+        "{:<10}{:<8}{:<12}{:>9}{:>9}{:>9}",
+        "kernel", "input", "machine", "commit", "frontend", "backend"
+    ));
+    for kernel in ["SpMV", "SpMSpM", "SpKAdd"] {
+        for input in InputId::MATRICES {
+            for (mach, cfg) in [
+                ("A64FX", configs::a64fx_like()),
+                ("Graviton3", configs::graviton3_like()),
+            ] {
+                let w = matrix_workload(kernel, input);
+                let stats = w.run_baseline(cfg);
+                let (c, f, b) = stats.breakdown();
+                report.line(format!(
+                    "{:<10}{:<8}{:<12}{:>9.2}{:>9.2}{:>9.2}",
+                    kernel,
+                    input.label(),
+                    mach,
+                    c,
+                    f,
+                    b
+                ));
+            }
+        }
+    }
+    report.line("");
+    report.line("expected qualitative shape (paper §3):");
+    report.line("  - SpKAdd: frontend-stall dominated, worse on the narrow A64FX core");
+    report.line("  - SpMV:   backend-stall dominated; better backend on Graviton3 (bigger caches)");
+    report.line("  - SpMSpM: largest committing share of the three");
+    report.save();
+}
+
+/// Table 6: the synthetic stand-in inputs and their statistics.
+pub fn table06() {
+    let mut report = Report::new("table06", "inputs (synthetic stand-ins for Table 6)");
+    report.line(format!(
+        "{:<5}{:<16}{:>10}{:>10}{:>10}  {}",
+        "id", "stands for", "nnz", "rows", "nnz/row", "domain"
+    ));
+    for id in InputId::MATRICES {
+        let m = ScaledInput::new(id).with_scale(scale()).matrix();
+        report.line(format!(
+            "{:<5}{:<16}{:>10}{:>10}{:>10.1}  {}",
+            id.label(),
+            id.paper_name(),
+            m.nnz(),
+            m.rows(),
+            m.nnz() as f64 / m.rows() as f64,
+            id.domain()
+        ));
+    }
+    report.line(format!("{:<5}{:<16}{:>10}  {:<24}{}", "id", "stands for", "nnz", "dims", "domain"));
+    for id in InputId::TENSORS {
+        let t = ScaledInput::new(id).with_scale(scale()).tensor();
+        report.line(format!(
+            "{:<5}{:<16}{:>10}  {:<24}{}",
+            id.label(),
+            id.paper_name(),
+            t.nnz(),
+            format!("{:?}", t.dims()),
+            id.domain()
+        ));
+    }
+    report.save();
+}
+
+/// Figure 10: TMU speedups over the vectorized baselines.
+pub fn fig10(cache: &mut RunCache) {
+    let mut report = Report::new("fig10", "TMU speedup over vectorized baseline");
+    let mut by_kind: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut per_kernel: Vec<(String, f64)> = Vec::new();
+    report.line(format!(
+        "{:<12}{:<6}{:>12}{:>12}{:>9}",
+        "kernel", "input", "base(cyc)", "tmu(cyc)", "speedup"
+    ));
+    for &kernel in MATRIX_KERNELS.iter().chain(&TENSOR_KERNELS) {
+        let mut speedups = Vec::new();
+        for &input in inputs_for(kernel) {
+            let pair = cache.pair(kernel, input);
+            let s = pair.speedup();
+            speedups.push(s);
+            let kind_key = match pair.kind {
+                KernelKind::MemoryIntensive => "memory",
+                KernelKind::ComputeIntensive => "compute",
+                KernelKind::MergeIntensive => "merge",
+            };
+            by_kind.entry(kind_key).or_default().push(s);
+            report.line(format!(
+                "{:<12}{:<6}{:>12}{:>12}{:>8.2}x",
+                kernel,
+                input.label(),
+                pair.base.cycles,
+                pair.tmu.stats.cycles,
+                s
+            ));
+        }
+        per_kernel.push((kernel.to_owned(), geomean(&speedups)));
+    }
+    report.line("");
+    report.line("geomean speedup per kernel (paper: SpMV 3.32x, SpMSpM 2.82x, SpKAdd 6.98x,");
+    report.line("  PR 2.74x, TC 4.56x, MTTKRP_MP 3.76x, MTTKRP_CP 4.01x, CP-ALS 2.88x, SpTC 3.79x):");
+    for (k, g) in &per_kernel {
+        report.line(format!("  {k:<12}{g:>6.2}x"));
+    }
+    report.line("");
+    report.line("geomean per category (paper: 3.58x memory, 2.82x compute, 4.94x merge):");
+    for kind in ["memory", "compute", "merge"] {
+        if let Some(v) = by_kind.get(kind) {
+            report.line(format!("  {kind:<10}{:>6.2}x", geomean(v)));
+        }
+    }
+    report.save();
+}
+
+/// Figure 11: normalized cycle breakdown and load-to-use latency for
+/// baseline (B) vs TMU (T).
+pub fn fig11(cache: &mut RunCache) {
+    let mut report = Report::new(
+        "fig11",
+        "cycle breakdown (committing/frontend/backend) and avg load-to-use latency",
+    );
+    report.line(format!(
+        "{:<12}{:<6}{:<4}{:>9}{:>9}{:>9}{:>9}",
+        "kernel", "input", "ver", "commit", "frontend", "backend", "l2u(cyc)"
+    ));
+    for &kernel in MATRIX_KERNELS.iter().chain(&TENSOR_KERNELS) {
+        for &input in inputs_for(kernel) {
+            let pair = cache.pair(kernel, input);
+            for (tag, stats) in [("B", &pair.base), ("T", &pair.tmu.stats)] {
+                let (c, f, b) = stats.breakdown();
+                report.line(format!(
+                    "{:<12}{:<6}{:<4}{:>9.2}{:>9.2}{:>9.2}{:>9.1}",
+                    kernel,
+                    input.label(),
+                    tag,
+                    c,
+                    f,
+                    b,
+                    stats.avg_load_to_use()
+                ));
+            }
+        }
+    }
+    report.line("");
+    report.line("expected shape (paper §7.1): TMU slashes backend stalls and load-to-use on");
+    report.line("memory-intensive rows, and frontend stalls on merge-intensive rows.");
+    report.save();
+}
+
+/// Figure 12: roofline models.
+pub fn fig12(cache: &mut RunCache) {
+    let cfg = configs::neoverse_n1_system();
+    let roof = Roofline::for_machine(
+        cfg.cores(),
+        cfg.core.sve_lanes(),
+        cfg.core.freq_ghz,
+        cfg.mem.dram.peak_bytes_per_cycle() * cfg.core.freq_ghz,
+    );
+    let mut report = Report::new("fig12", "roofline models (a: all workloads; b/c/d: SpMV, SpMSpM, SpKAdd)");
+    report.line(format!(
+        "machine: peak {:.1} GFLOP/s, peak {:.1} GB/s, ridge at {:.2} flop/byte",
+        roof.peak_gflops,
+        roof.peak_bandwidth_gbs,
+        roof.ridge()
+    ));
+    report.line("");
+    report.line("(a) geomean per workload — TC and SpTC excluded (integer/symbolic, as in the paper)");
+    report.line(format!(
+        "{:<12}{:<4}{:>12}{:>12}{:>10}",
+        "kernel", "ver", "AI(f/B)", "GFLOP/s", "GB/s"
+    ));
+    for &kernel in MATRIX_KERNELS.iter().chain(&TENSOR_KERNELS) {
+        if kernel == "TC" || kernel == "SpTC" {
+            continue;
+        }
+        let mut pts: HashMap<&str, Vec<(f64, f64, f64)>> = HashMap::new();
+        for &input in inputs_for(kernel) {
+            let pair = cache.pair(kernel, input);
+            for (tag, stats) in [("B", &pair.base), ("T", &pair.tmu.stats)] {
+                pts.entry(tag).or_default().push((
+                    stats.arithmetic_intensity(),
+                    stats.gflops(),
+                    stats.bandwidth_gbs(),
+                ));
+            }
+        }
+        for tag in ["B", "T"] {
+            let v = &pts[tag];
+            let ai = geomean(&v.iter().map(|p| p.0).collect::<Vec<_>>());
+            let gf = geomean(&v.iter().map(|p| p.1).collect::<Vec<_>>());
+            let bw = geomean(&v.iter().map(|p| p.2).collect::<Vec<_>>());
+            report.line(format!("{kernel:<12}{tag:<4}{ai:>12.3}{gf:>12.2}{bw:>10.1}"));
+        }
+    }
+    for (panel, kernel) in [("b", "SpMV"), ("c", "SpMSpM"), ("d", "SpKAdd")] {
+        report.line("");
+        report.line(format!("({panel}) {kernel} — every input"));
+        report.line(format!(
+            "{:<6}{:<4}{:>12}{:>12}{:>10}",
+            "input", "ver", "AI(f/B)", "GFLOP/s", "GB/s"
+        ));
+        for &input in &InputId::MATRICES {
+            let pair = cache.pair(kernel, input);
+            for (tag, stats) in [("B", &pair.base), ("T", &pair.tmu.stats)] {
+                report.line(format!(
+                    "{:<6}{:<4}{:>12.3}{:>12.2}{:>10.1}",
+                    input.label(),
+                    tag,
+                    stats.arithmetic_intensity(),
+                    stats.gflops(),
+                    stats.bandwidth_gbs()
+                ));
+            }
+        }
+    }
+    // (c) extra: the fixed-nnz/row compute ceilings.
+    report.line("");
+    report.line("(c) SpMSpM synthetic ceilings: n nnz/row at columns 0..n-1 (ideal locality)");
+    for n in [1usize, 8, 64] {
+        // The product of a fixed-row matrix with its transpose grows with
+        // rows² · n — a small row count already saturates the compute
+        // ceiling, so cap it to keep the run quadratic-safe.
+        let rows = (((8192.0 * scale()) as usize).max(256)).min(16_384 / n.max(1));
+        let m = gen::fixed_row(rows, n, 7);
+        let w = Spmspm::new(&m);
+        let run = w.run_tmu(configs::neoverse_n1_system(), TmuConfig::paper());
+        report.line(format!(
+            "  n={n:<4} TMU: {:>8.2} GFLOP/s at AI {:.3}",
+            run.stats.gflops(),
+            run.stats.arithmetic_intensity()
+        ));
+    }
+    report.save();
+}
+
+/// Figure 13: read-to-write ratio of the outQ per workload.
+pub fn fig13(cache: &mut RunCache) {
+    let mut report = Report::new(
+        "fig13",
+        "outQ read-to-write ratio (core read time / TMU write time; <1 = core faster)",
+    );
+    report.line(format!("{:<12}{:>8}", "kernel", "ratio"));
+    for &kernel in MATRIX_KERNELS.iter().chain(&TENSOR_KERNELS) {
+        let mut ratios = Vec::new();
+        for &input in inputs_for(kernel) {
+            let pair = cache.pair(kernel, input);
+            let r = pair.tmu.read_to_write_ratio();
+            if r > 0.0 {
+                ratios.push(r);
+            }
+        }
+        report.line(format!("{:<12}{:>8.2}", kernel, geomean(&ratios)));
+    }
+    report.line("");
+    report.line("paper shape: TC/SpMV/MTTKRP below one (merge offloaded / regular compute);");
+    report.line("SpKAdd/SpTC near one; SpMSpM/PR/CP-ALS above one (core-side bottleneck).");
+    report.save();
+}
+
+/// Figure 14: sensitivity to engine storage and SVE vector length.
+pub fn fig14() {
+    let mut report = Report::new(
+        "fig14",
+        "speedup heatmap vs engine storage {4,8,16,32}KB x SVE {128,256,512}b, normalized to 16KB/512b",
+    );
+    let m_spmv = ScaledInput::new(InputId::M3).with_scale(scale()).matrix();
+    let m_mm = ScaledInput::new(InputId::M3).with_scale((scale() * 0.5).max(0.05)).matrix();
+    let spmv = Spmv::new(&m_spmv);
+    let spmspm = Spmspm::new(&m_mm);
+    for (name, w) in [("SpMV", &spmv as &dyn Workload), ("SpMSpM", &spmspm as &dyn Workload)] {
+        report.line(format!("{name}:"));
+        report.line(format!("{:<10}{:>10}{:>10}{:>10}{:>10}", "SVE", "4KB", "8KB", "16KB", "32KB"));
+        // Baseline cycles at the reference system (512-bit SVE).
+        let mut reference_cycles = 0u64;
+        let mut grid: Vec<(u32, Vec<f64>)> = Vec::new();
+        for sve in [128u32, 256, 512] {
+            let sys = configs::neoverse_n1_with_sve(sve);
+            let mut row = Vec::new();
+            for kb in [4usize, 8, 16, 32] {
+                let tmu = TmuConfig::paper()
+                    .for_sve_bits(sve)
+                    .with_total_storage(kb << 10);
+                let run = w.run_tmu(sys, tmu);
+                if sve == 512 && kb == 16 {
+                    reference_cycles = run.stats.cycles;
+                }
+                row.push(run.stats.cycles as f64);
+            }
+            grid.push((sve, row));
+        }
+        for (sve, row) in grid {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| format!("{:>10.2}", reference_cycles as f64 / c))
+                .collect();
+            report.line(format!("{:<10}{}", format!("{sve}b"), cells.join("")));
+        }
+        report.line("");
+    }
+    report.line("paper shape: SpMV gains from storage (more MLP), little from SVE width;");
+    report.line("SpMSpM gains from SVE width (core-side bottleneck), little from storage.");
+    report.save();
+}
+
+/// Figure 15: IMP and Single-Lane comparison.
+pub fn fig15(cache: &mut RunCache) {
+    let mut report = Report::new(
+        "fig15",
+        "speedup of IMP, Single-Lane TMU and full TMU over baseline (SpMV, SpMSpM)",
+    );
+    report.line(format!(
+        "{:<10}{:<6}{:>8}{:>13}{:>8}",
+        "kernel", "input", "IMP", "Single-Lane", "TMU"
+    ));
+    let cfg = configs::neoverse_n1_system();
+    let mut geo: HashMap<(&str, &str), Vec<f64>> = HashMap::new();
+    for kernel in ["SpMV", "SpMSpM"] {
+        for input in InputId::MATRICES {
+            let (imp_s, single_s, tmu_s, base_cycles);
+            {
+                let pair = cache.pair(kernel, input);
+                base_cycles = pair.base.cycles;
+                tmu_s = pair.speedup();
+            }
+            {
+                let w = matrix_workload(kernel, input);
+                let imp = w
+                    .run_baseline_imp(cfg)
+                    .expect("SpMV/SpMSpM support IMP");
+                imp_s = base_cycles as f64 / imp.cycles.max(1) as f64;
+                let single = w.run_tmu(cfg, TmuConfig::paper().single_lane());
+                single_s = base_cycles as f64 / single.stats.cycles.max(1) as f64;
+            }
+            geo.entry((kernel, "imp")).or_default().push(imp_s);
+            geo.entry((kernel, "single")).or_default().push(single_s);
+            geo.entry((kernel, "tmu")).or_default().push(tmu_s);
+            report.line(format!(
+                "{:<10}{:<6}{:>7.2}x{:>12.2}x{:>7.2}x",
+                kernel,
+                input.label(),
+                imp_s,
+                single_s,
+                tmu_s
+            ));
+        }
+    }
+    report.line("");
+    report.line("geomeans (paper: Single-Lane 1.59x/1.50x, TMU 3.32x/2.82x, IMP 1.25x on SpMV):");
+    for kernel in ["SpMV", "SpMSpM"] {
+        report.line(format!(
+            "  {kernel:<8} IMP {:>5.2}x  Single-Lane {:>5.2}x  TMU {:>5.2}x",
+            geomean(&geo[&(kernel, "imp")]),
+            geomean(&geo[&(kernel, "single")]),
+            geomean(&geo[&(kernel, "tmu")])
+        ));
+    }
+    report.save();
+}
+
+/// §6 area analysis.
+pub fn area_report() {
+    let mut report = Report::new("area", "TMU area model (22nm FD-SOI, calibrated to the paper's RTL)");
+    let r = area(&TmuConfig::paper());
+    report.line(format!("lane:            {:>8.4} mm²  (paper: 0.0080 mm²)", r.lane_mm2));
+    report.line(format!("8 lanes:         {:>8.4} mm²", r.lanes_mm2));
+    report.line(format!("mergers (4 TGs): {:>8.4} mm²", r.mergers_mm2));
+    report.line(format!("arbiter+control: {:>8.4} mm²", r.arbiter_mm2));
+    report.line(format!("total:           {:>8.4} mm²  (paper: 0.0704 mm²)", r.total_mm2));
+    report.line(format!(
+        "fraction of a Neoverse N1 core: {:.2}%  (paper: 1.52%)",
+        r.percent_of_n1_core
+    ));
+    report.line("");
+    report.line("design-space scaling (Figure 14 configurations):");
+    for sve in [128u32, 256, 512] {
+        for kb in [4usize, 8, 16, 32] {
+            let cfg = TmuConfig::paper().for_sve_bits(sve).with_total_storage(kb << 10);
+            let r = area(&cfg);
+            report.line(format!(
+                "  {:>4}b SVE, {:>2} KB: {:>7.4} mm² ({:>4.2}% of core)",
+                sve, kb, r.total_mm2, r.percent_of_n1_core
+            ));
+        }
+    }
+    report.save();
+}
+
+/// Verification sweep: every workload's TMU functional result vs reference.
+pub fn verify_all() {
+    let mut report = Report::new("verify", "functional verification of every kernel/input pair");
+    for &kernel in MATRIX_KERNELS.iter().chain(&TENSOR_KERNELS) {
+        for &input in inputs_for(kernel) {
+            let w = RunCache::build(kernel, input);
+            match w.verify() {
+                Ok(()) => report.line(format!("ok   {kernel} on {}", input.label())),
+                Err(e) => report.line(format!("FAIL {kernel} on {}: {e}", input.label())),
+            }
+        }
+    }
+    report.save();
+}
+
+/// SpKAdd workload helper used by the criterion benches.
+pub fn quick_spkadd() -> Spkadd {
+    Spkadd::new(&gen::uniform(512, 128, 4, 3))
+}

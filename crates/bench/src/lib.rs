@@ -1,0 +1,191 @@
+//! Benchmark harness for the TMU reproduction.
+//!
+//! One binary per paper artifact (`fig03`, `fig10`, … `area`); each
+//! regenerates the corresponding table or figure on the synthetic Table 6
+//! stand-ins and writes a plain-text report under `results/`. The
+//! `all_figures` binary runs everything in sequence.
+//!
+//! The global input scale can be reduced for quick runs with the
+//! `TMU_SCALE` environment variable (default 1.0 — itself ≈32× smaller
+//! than the paper's inputs, see `tmu_tensor::gen`).
+
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tmu_kernels::workload::Workload;
+use tmu_kernels::{
+    cpals::CpAls,
+    mttkrp::{Mttkrp, MttkrpVariant},
+    pagerank::PageRank,
+    spkadd::Spkadd,
+    spmspm::Spmspm,
+    spmv::Spmv,
+    sptc::Sptc,
+    trianglecount::TriangleCount,
+};
+use tmu_tensor::gen::{InputId, ScaledInput};
+
+/// Input scale multiplier from `TMU_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("TMU_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A plain-text figure report, printed and written to `results/`.
+#[derive(Debug)]
+pub struct Report {
+    name: &'static str,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for `name` (e.g. `"fig10"`).
+    pub fn new(name: &'static str, title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "# {name}: {title}");
+        let _ = writeln!(
+            body,
+            "# scale = {} (see DESIGN.md §2 for input substitution)",
+            scale()
+        );
+        Self { name, body }
+    }
+
+    /// Appends a line (also echoed to stdout).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        println!("{}", s.as_ref());
+        self.body.push_str(s.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Writes the report under `results/<name>.txt`.
+    pub fn save(&self) -> PathBuf {
+        let dir = PathBuf::from("results");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.txt", self.name));
+        std::fs::write(&path, &self.body).expect("write report");
+        println!("→ wrote {}", path.display());
+        path
+    }
+}
+
+/// Builds the matrix workload `kernel` on Table 6 input `id`.
+pub fn matrix_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
+    let m = ScaledInput::new(id).with_scale(scale()).matrix();
+    match kernel {
+        "SpMV" => Box::new(Spmv::new(&m)),
+        "SpMSpM" => Box::new(Spmspm::new(&m)),
+        "SpKAdd" => Box::new(Spkadd::new(&m)),
+        "PR" => Box::new(PageRank::new(&m)),
+        "TC" => Box::new(TriangleCount::new(&m)),
+        other => panic!("unknown matrix kernel {other}"),
+    }
+}
+
+/// Builds the tensor workload `kernel` on Table 6 input `id`.
+pub fn tensor_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
+    let t = ScaledInput::new(id).with_scale(scale()).tensor();
+    match kernel {
+        "MTTKRP_MP" => Box::new(Mttkrp::new(&t, MttkrpVariant::Mp)),
+        "MTTKRP_CP" => Box::new(Mttkrp::new(&t, MttkrpVariant::Cp)),
+        "CP-ALS" => {
+            // CP-ALS needs an order-3 tensor; fuse trailing modes.
+            let fused = fuse_to_order3(&t);
+            Box::new(CpAls::new(&fused))
+        }
+        "SpTC" => {
+            let fused = fuse_to_order3(&t);
+            // Contract against a second synthetic tensor with compatible
+            // k/l dimensions.
+            let dims = fused.dims().to_vec();
+            let b = tmu_tensor::gen::random_tensor(
+                &[dims[2], dims[1], 64],
+                (fused.nnz() / 2).max(16),
+                0xB0B,
+            );
+            Box::new(Sptc::new(&fused, &b))
+        }
+        other => panic!("unknown tensor kernel {other}"),
+    }
+}
+
+/// Fuses trailing modes so an order-n tensor becomes order-3, compacting
+/// the fused coordinates to the dense range of occupied values (keeps
+/// factor/auxiliary structures realistically sized — see `tmu_kernels::mttkrp`).
+pub fn fuse_to_order3(t: &tmu_tensor::CooTensor) -> tmu_tensor::CooTensor {
+    if t.order() == 3 {
+        return t.clone();
+    }
+    let dims = t.dims();
+    let mut raw: Vec<(Vec<u32>, u64, f64)> = t
+        .iter()
+        .map(|(c, v)| {
+            let mut l = 0u64;
+            for (d, &size) in dims[2..].iter().enumerate() {
+                l = l * size as u64 + c[d + 2] as u64;
+            }
+            (c, l, v)
+        })
+        .collect();
+    let mut distinct: Vec<u64> = raw.iter().map(|(_, l, _)| *l).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let remap: std::collections::HashMap<u64, u32> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let entries: Vec<(Vec<u32>, f64)> = raw
+        .drain(..)
+        .map(|(c, l, v)| (vec![c[0], c[1], remap[&l]], v))
+        .collect();
+    tmu_tensor::CooTensor::from_entries(
+        vec![dims[0], dims[1], distinct.len().max(1)],
+        entries,
+    )
+    .expect("fusion stays in bounds")
+}
+
+/// Matrix kernels of Figure 10 (left panel).
+pub const MATRIX_KERNELS: [&str; 5] = ["SpMV", "SpMSpM", "SpKAdd", "PR", "TC"];
+
+/// Tensor kernels of Figure 10 (right panel).
+pub const TENSOR_KERNELS: [&str; 4] = ["MTTKRP_MP", "MTTKRP_CP", "CP-ALS", "SpTC"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn workload_builders_cover_all_kernels() {
+        std::env::set_var("TMU_SCALE", "0.02");
+        for k in MATRIX_KERNELS {
+            let w = matrix_workload(k, InputId::M4);
+            assert_eq!(w.name(), k);
+        }
+        for k in TENSOR_KERNELS {
+            let w = tensor_workload(k, InputId::T4);
+            assert_eq!(w.name(), k);
+        }
+    }
+}

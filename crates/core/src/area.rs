@@ -1,0 +1,96 @@
+//! Analytical area model, calibrated to the paper's RTL results (§6).
+//!
+//! The authors synthesized the Table 5 TMU in GlobalFoundries 22 nm FD-SOI
+//! (Cadence Genus/Innovus): 0.0704 mm² total, 0.0080 mm² per lane, 1.52 %
+//! of a Neoverse N1 core scaled to the same node. We cannot run synthesis
+//! here, so this module reproduces those numbers with a component
+//! decomposition — per-lane stream storage (SRAM) plus lane logic, per-TG
+//! mergers, and the shared arbiter/control — and scales them with the
+//! design-space parameters swept in Figure 14.
+
+use crate::config::TmuConfig;
+
+/// mm² per byte of stream-queue SRAM (22 nm, from calibration).
+const SRAM_MM2_PER_BYTE: f64 = 0.0055 / 2048.0;
+
+/// Fixed per-lane FSM/datapath logic (mm²).
+const LANE_LOGIC_MM2: f64 = 0.0025;
+
+/// One traversal-group merger (comparator tree + predicate logic, mm²).
+const MERGER_MM2: f64 = 0.0010;
+
+/// Shared memory arbiter + outQ control (mm²).
+const ARBITER_MM2: f64 = 0.0024;
+
+/// Neoverse N1 core area scaled to 22 nm (mm²), derived from the paper's
+/// 1.52 % figure for the Table 5 TMU.
+pub const N1_CORE_MM2: f64 = 4.6316;
+
+/// Area breakdown of a TMU instance (mm², 22 nm FD-SOI).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AreaReport {
+    /// One lane: stream storage + TU logic.
+    pub lane_mm2: f64,
+    /// All lanes.
+    pub lanes_mm2: f64,
+    /// Traversal-group mergers.
+    pub mergers_mm2: f64,
+    /// Arbiter and outQ control.
+    pub arbiter_mm2: f64,
+    /// Full engine.
+    pub total_mm2: f64,
+    /// Engine area as a percentage of a Neoverse N1 core.
+    pub percent_of_n1_core: f64,
+}
+
+/// Computes the area of a TMU configuration.
+pub fn area(cfg: &TmuConfig) -> AreaReport {
+    let lane_mm2 = cfg.per_lane_bytes as f64 * SRAM_MM2_PER_BYTE + LANE_LOGIC_MM2;
+    let lanes_mm2 = lane_mm2 * cfg.lanes as f64;
+    let mergers_mm2 = MERGER_MM2 * cfg.groups as f64;
+    let arbiter_mm2 = ARBITER_MM2;
+    let total_mm2 = lanes_mm2 + mergers_mm2 + arbiter_mm2;
+    AreaReport {
+        lane_mm2,
+        lanes_mm2,
+        mergers_mm2,
+        arbiter_mm2,
+        total_mm2,
+        percent_of_n1_core: total_mm2 / N1_CORE_MM2 * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_rtl_numbers() {
+        let report = area(&TmuConfig::paper());
+        // §6: 0.0704 mm² total, 0.0080 mm²/lane, 1.52 % of an N1 core.
+        assert!((report.lane_mm2 - 0.0080).abs() < 1e-6, "{}", report.lane_mm2);
+        assert!((report.total_mm2 - 0.0704).abs() < 1e-6, "{}", report.total_mm2);
+        assert!(
+            (report.percent_of_n1_core - 1.52).abs() < 0.005,
+            "{}",
+            report.percent_of_n1_core
+        );
+    }
+
+    #[test]
+    fn area_scales_with_storage() {
+        let base = area(&TmuConfig::paper());
+        let double = area(&TmuConfig::paper().with_total_storage(32 << 10));
+        assert!(double.total_mm2 > base.total_mm2);
+        // Storage dominates the lane: doubling storage must grow the lane
+        // by more than half of its SRAM share.
+        assert!(double.lane_mm2 > base.lane_mm2 * 1.3);
+    }
+
+    #[test]
+    fn fewer_lanes_shrink_the_engine() {
+        let eight = area(&TmuConfig::paper());
+        let four = area(&TmuConfig::paper().for_sve_bits(256));
+        assert!(four.total_mm2 < eight.total_mm2 * 0.6);
+    }
+}

@@ -1,0 +1,121 @@
+//! TMU architectural-context save/restore (§5.6).
+//!
+//! When the OS deschedules a thread using the TMU, it quiesces the engine
+//! and saves the minimal architectural state: the configuration (program),
+//! the head of each TU's `ite` stream, and the outQ control registers. On
+//! reschedule the engine is reconstructed and resumes where it left off.
+//!
+//! In this model the engine's progress is fully determined by the program
+//! plus the number of traversal-group steps completed at the quiesce
+//! point, so a [`ContextSnapshot`] stores exactly that; `restore` rebuilds
+//! an [`Interp`] and replays to the saved step count (the replay is a
+//! simulation-host cost, not simulated time — hardware restores its
+//! registers directly).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TmuConfig;
+use crate::image::MemImage;
+use crate::interp::Interp;
+use crate::program::Program;
+
+/// Saved architectural state of a quiesced TMU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    /// Engine configuration (queue types/sizes are derived from it).
+    pub config: TmuConfig,
+    /// The traversal program (iteration boundaries, streams, callbacks).
+    pub program: Program,
+    /// Traversal-group steps completed before the switch.
+    pub steps_completed: u64,
+    /// outQ entries produced before the switch (current writing offset).
+    pub entries_produced: u64,
+}
+
+impl ContextSnapshot {
+    /// Captures a snapshot of a quiesced engine.
+    pub fn save(config: TmuConfig, program: &Program, steps_completed: u64, entries_produced: u64) -> Self {
+        Self {
+            config,
+            program: program.clone(),
+            steps_completed,
+            entries_produced,
+        }
+    }
+
+    /// Restores an interpreter positioned exactly after
+    /// `steps_completed` steps.
+    pub fn restore(&self, image: Arc<MemImage>) -> Interp {
+        let mut interp = Interp::new(Arc::new(self.program.clone()), image);
+        for _ in 0..self.steps_completed {
+            interp
+                .next_step()
+                .expect("snapshot step count exceeds program length");
+        }
+        interp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_functional;
+    use crate::program::{Event, LayerMode, ProgramBuilder, StreamTy};
+    use tmu_sim::AddressMap;
+
+    fn fixture() -> (Program, Arc<MemImage>) {
+        let mut map = AddressMap::new();
+        let ptrs_r = map.alloc_elems("ptrs", 5, 4);
+        let idxs_r = map.alloc_elems("idxs", 6, 4);
+        let vals_r = map.alloc_elems("vals", 6, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(ptrs_r, Arc::new(vec![0, 2, 3, 5, 6]));
+        image.bind_u32(idxs_r, Arc::new(vec![0, 2, 1, 0, 3, 2]));
+        image.bind_f64(vals_r, Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let row = bld.dns_fbrt(l0, 0, 4, 1);
+        let ptbs = bld.mem_stream(row, ptrs_r.base, 4, StreamTy::Index);
+        let ptes = bld.mem_stream(row, ptrs_r.base + 4, 4, StreamTy::Index);
+        let l1 = bld.layer(LayerMode::Single);
+        let col = bld.rng_fbrt(l1, ptbs, ptes, 0, 1);
+        let v = bld.mem_stream(col, vals_r.base, 8, StreamTy::Value);
+        let op = bld.vec_operand(l1, &[v]);
+        bld.callback(l1, Event::Ite, 0, &[op]);
+        (bld.build().expect("well-formed"), Arc::new(image))
+    }
+
+    #[test]
+    fn restore_resumes_identically() {
+        let (prog, image) = fixture();
+        let arc_prog = Arc::new(prog.clone());
+        // Uninterrupted run.
+        let full = run_functional(&arc_prog, &image);
+
+        // Interrupted run: stop after 5 steps, snapshot, restore, finish.
+        let mut interp = Interp::new(Arc::clone(&arc_prog), Arc::clone(&image));
+        let mut prefix = Vec::new();
+        for _ in 0..5 {
+            let s = interp.next_step().expect("program longer than 5 steps");
+            prefix.extend(s.entries);
+        }
+        let snap = ContextSnapshot::save(TmuConfig::paper(), &prog, 5, prefix.len() as u64);
+        let mut restored = snap.restore(Arc::clone(&image));
+        let mut suffix = Vec::new();
+        while let Some(s) = restored.next_step() {
+            suffix.extend(s.entries);
+        }
+        prefix.extend(suffix);
+        assert_eq!(prefix, full, "context switch must be transparent");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_program() {
+        let (prog, _) = fixture();
+        let snap = ContextSnapshot::save(TmuConfig::paper(), &prog, 0, 0);
+        assert_eq!(snap.program, prog);
+        assert_eq!(snap.config, TmuConfig::paper());
+    }
+}

@@ -1,0 +1,165 @@
+//! Memory image: binds simulated virtual regions to real data arrays.
+//!
+//! The TMU engine is programmed with base virtual addresses (Figure 8 uses
+//! raw pointers like `a->ptrs`); its functional execution must read the
+//! actual array contents while its timing model sends the same addresses
+//! through the simulated memory hierarchy. A [`MemImage`] provides that
+//! translation: kernels allocate regions in a [`tmu_sim::AddressMap`] and
+//! bind the backing slices here.
+
+use std::sync::Arc;
+
+use tmu_sim::Region;
+
+/// Typed backing storage of one bound region.
+#[derive(Debug, Clone)]
+enum Backing {
+    U32(Arc<Vec<u32>>),
+    F64(Arc<Vec<f64>>),
+}
+
+#[derive(Debug, Clone)]
+struct Binding {
+    base: u64,
+    len_bytes: u64,
+    elem: u64,
+    data: Backing,
+}
+
+/// A collection of region→array bindings.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    bindings: Vec<Binding>,
+}
+
+impl MemImage {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `region` to a `u32` index array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array does not fit the region.
+    pub fn bind_u32(&mut self, region: Region, data: Arc<Vec<u32>>) {
+        assert!(
+            data.len() as u64 * 4 <= region.len,
+            "u32 array overflows region"
+        );
+        self.bindings.push(Binding {
+            base: region.base,
+            len_bytes: data.len() as u64 * 4,
+            elem: 4,
+            data: Backing::U32(data),
+        });
+    }
+
+    /// Binds `region` to an `f64` value array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array does not fit the region.
+    pub fn bind_f64(&mut self, region: Region, data: Arc<Vec<f64>>) {
+        assert!(
+            data.len() as u64 * 8 <= region.len,
+            "f64 array overflows region"
+        );
+        self.bindings.push(Binding {
+            base: region.base,
+            len_bytes: data.len() as u64 * 8,
+            elem: 8,
+            data: Backing::F64(data),
+        });
+    }
+
+    fn find(&self, addr: u64) -> Option<&Binding> {
+        self.bindings
+            .iter()
+            .find(|b| addr >= b.base && addr < b.base + b.len_bytes)
+    }
+
+    /// Reads an index word at `addr` (u32 arrays; f64 arrays are truncated
+    /// to integers, which traversal programs never rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unbound or misaligned.
+    pub fn read_index(&self, addr: u64) -> i64 {
+        let b = self.find(addr).unwrap_or_else(|| {
+            panic!("unbound TMU read at {addr:#x}")
+        });
+        let off = addr - b.base;
+        assert_eq!(off % b.elem, 0, "misaligned index read at {addr:#x}");
+        let i = (off / b.elem) as usize;
+        match &b.data {
+            Backing::U32(v) => v[i] as i64,
+            Backing::F64(v) => v[i] as i64,
+        }
+    }
+
+    /// Reads a value word at `addr` as raw bits (u32 widened, f64 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unbound or misaligned.
+    pub fn read_bits(&self, addr: u64) -> u64 {
+        let b = self.find(addr).unwrap_or_else(|| {
+            panic!("unbound TMU read at {addr:#x}")
+        });
+        let off = addr - b.base;
+        assert_eq!(off % b.elem, 0, "misaligned value read at {addr:#x}");
+        let i = (off / b.elem) as usize;
+        match &b.data {
+            Backing::U32(v) => v[i] as u64,
+            Backing::F64(v) => v[i].to_bits(),
+        }
+    }
+
+    /// Element width in bytes of the binding containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unbound.
+    pub fn elem_bytes(&self, addr: u64) -> u64 {
+        self.find(addr)
+            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"))
+            .elem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_sim::AddressMap;
+
+    #[test]
+    fn reads_through_bindings() {
+        let mut map = AddressMap::new();
+        let idx_region = map.alloc_elems("idxs", 4, 4);
+        let val_region = map.alloc_elems("vals", 4, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(idx_region, Arc::new(vec![5, 6, 7, 8]));
+        image.bind_f64(val_region, Arc::new(vec![1.5, 2.5, 3.5, 4.5]));
+        assert_eq!(image.read_index(idx_region.u32_at(2)), 7);
+        assert_eq!(f64::from_bits(image.read_bits(val_region.f64_at(1))), 2.5);
+        assert_eq!(image.elem_bytes(idx_region.base), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn unbound_read_panics() {
+        let image = MemImage::new();
+        image.read_index(0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows region")]
+    fn oversized_binding_rejected() {
+        let mut map = AddressMap::new();
+        let r = map.alloc("small", 8);
+        let mut image = MemImage::new();
+        image.bind_f64(r, Arc::new(vec![0.0; 4096]));
+    }
+}

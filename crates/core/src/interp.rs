@@ -1,0 +1,904 @@
+//! Functional interpreter of TMU programs.
+//!
+//! Produces, lazily and in nested-loop order, the stream of traversal-group
+//! [`Step`]s a configured TMU performs: which elements each TU loads (with
+//! their dependency edges), how the traversal groups merge/co-iterate lanes
+//! (§5.2), and which outQ entries the registered callbacks push (§5.3).
+//! The timing engine ([`crate::TmuAccelerator`]) replays this stream
+//! against the simulated memory hierarchy; the functional content (operand
+//! values) is computed here from the bound [`MemImage`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::image::MemImage;
+use crate::program::{
+    Event, IndexSrc, LayerMode, OperandDef, Program, StreamDef, StreamRef, StreamTy, TraversalDef,
+};
+use crate::steps::{ElemId, MemLoad, Operand, OutQEntry, Step, StepKind};
+
+/// A peeked (current) element of one TU.
+#[derive(Debug, Clone, Default)]
+struct ElemRt {
+    /// Per-stream values (raw bits).
+    vals: Vec<u64>,
+    /// Per-stream mem-load ids (None for non-mem streams).
+    mem_by_stream: Vec<Option<ElemId>>,
+    /// All gating ids of this element (own loads + fiber bound deps).
+    gates: Vec<ElemId>,
+}
+
+/// Runtime state of one TU (lane of a layer).
+#[derive(Debug, Clone, Default)]
+struct LaneRt {
+    active: bool,
+    i: i64,
+    beg: i64,
+    end: i64,
+    stride: i64,
+    bound_deps: Vec<ElemId>,
+    parent_vals: Vec<u64>,
+    cur: Option<ElemRt>,
+    last: ElemRt,
+}
+
+impl LaneRt {
+    fn in_range(&self) -> bool {
+        if self.stride >= 0 {
+            self.i < self.end
+        } else {
+            self.i > self.end
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start(usize),
+    Step(usize),
+    Done,
+}
+
+/// Lazily interprets a [`Program`] over a [`MemImage`].
+#[derive(Debug)]
+pub struct Interp {
+    prog: Arc<Program>,
+    image: Arc<MemImage>,
+    layers: Vec<Vec<LaneRt>>,
+    elem_counts: Vec<Vec<u64>>,
+    next_elem: ElemId,
+    phase: Phase,
+    /// Total outQ entries produced so far.
+    pub entries_produced: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter positioned before the first step.
+    pub fn new(prog: Arc<Program>, image: Arc<MemImage>) -> Self {
+        let layers: Vec<Vec<LaneRt>> = prog
+            .layers
+            .iter()
+            .map(|l| vec![LaneRt::default(); l.tus.len()])
+            .collect();
+        let elem_counts = prog
+            .layers
+            .iter()
+            .map(|l| vec![0u64; l.tus.len()])
+            .collect();
+        let mut interp = Self {
+            prog,
+            image,
+            layers,
+            elem_counts,
+            next_elem: 0,
+            phase: Phase::Start(0),
+            entries_produced: 0,
+        };
+        interp.init_root();
+        interp
+    }
+
+    fn init_root(&mut self) {
+        let defs: Vec<TraversalDef> = self.prog.layers[0]
+            .tus
+            .iter()
+            .map(|t| t.traversal)
+            .collect();
+        for (lane, def) in defs.iter().enumerate() {
+            let rt = &mut self.layers[0][lane];
+            match *def {
+                TraversalDef::Dns { beg, end, stride } => {
+                    rt.active = true;
+                    rt.i = beg;
+                    rt.beg = beg;
+                    rt.end = end;
+                    rt.stride = stride;
+                }
+                _ => unreachable!("validated: root uses constant bounds"),
+            }
+        }
+    }
+
+    fn stream_ty(&self, r: StreamRef) -> StreamTy {
+        match &self.prog.layers[r.layer].tus[r.lane].streams[r.stream] {
+            StreamDef::Mem { ty, .. } => *ty,
+            StreamDef::Fwd { from } => self.stream_ty(*from),
+            _ => StreamTy::Index,
+        }
+    }
+
+    /// Peeks the current element of `(l, lane)`, creating its loads.
+    fn peek(&mut self, l: usize, lane: usize, loads: &mut Vec<MemLoad>) {
+        let rt = &self.layers[l][lane];
+        if !rt.active || rt.cur.is_some() || !rt.in_range() {
+            return;
+        }
+        let i = rt.i;
+        let beg0 = rt.beg;
+        let bound_deps = rt.bound_deps.clone();
+        let parent_vals = rt.parent_vals.clone();
+        let tu = &self.prog.layers[l].tus[lane];
+        let n = tu.streams.len();
+        let mut vals = vec![0u64; n];
+        let mut mem_by_stream: Vec<Option<ElemId>> = vec![None; n];
+        let mut gates = bound_deps.clone();
+        let ordinal = self.elem_counts[l][lane];
+        for (si, s) in tu.streams.iter().enumerate() {
+            match s {
+                StreamDef::Ite => vals[si] = i as u64,
+                StreamDef::Mem {
+                    base,
+                    elem,
+                    index,
+                    ty,
+                } => {
+                    let idx = match index {
+                        IndexSrc::Ite => i,
+                        IndexSrc::Stream(j) => vals[*j] as i64,
+                        IndexSrc::RelItePlus(j) => (i - beg0) + vals[*j] as i64,
+                    };
+                    let addr = (*base as i64 + idx * *elem as i64) as u64;
+                    vals[si] = match ty {
+                        StreamTy::Index => self.image.read_index(addr) as u64,
+                        StreamTy::Value => self.image.read_bits(addr),
+                    };
+                    let id = self.next_elem;
+                    self.next_elem += 1;
+                    let mut deps = bound_deps.clone();
+                    if let IndexSrc::Stream(j) | IndexSrc::RelItePlus(j) = index {
+                        if let Some(dep) = mem_by_stream[*j] {
+                            deps.push(dep);
+                        }
+                    }
+                    loads.push(MemLoad {
+                        id,
+                        layer: l as u8,
+                        lane: lane as u8,
+                        stream: si as u8,
+                        elem_ordinal: ordinal,
+                        addr,
+                        deps,
+                    });
+                    mem_by_stream[si] = Some(id);
+                    gates.push(id);
+                }
+                StreamDef::Lin { a, b, of } => {
+                    vals[si] = (a * (vals[*of] as i64) + b) as u64;
+                }
+                StreamDef::Map { table, of } => {
+                    vals[si] = table[(vals[*of] as i64).rem_euclid(table.len() as i64) as usize]
+                        as u64;
+                }
+                StreamDef::Ldr { base, elem, of } => {
+                    vals[si] = (*base as i64 + (vals[*of] as i64) * *elem as i64) as u64;
+                }
+                StreamDef::Fwd { from } => {
+                    vals[si] = parent_vals.get(from.stream).copied().unwrap_or(0);
+                }
+            }
+        }
+        self.elem_counts[l][lane] += 1;
+        self.layers[l][lane].cur = Some(ElemRt {
+            vals,
+            mem_by_stream,
+            gates,
+        });
+    }
+
+    fn consume(&mut self, l: usize, lane: usize) {
+        let rt = &mut self.layers[l][lane];
+        let cur = rt.cur.take().expect("consume requires a peeked element");
+        rt.last = cur;
+        rt.i += rt.stride;
+    }
+
+    fn key_of(&self, l: usize, lane: usize) -> i64 {
+        let tu = &self.prog.layers[l].tus[lane];
+        let k = tu.key.unwrap_or(0);
+        let cur = self.layers[l][lane]
+            .cur
+            .as_ref()
+            .expect("key requires a peeked element");
+        cur.vals[k] as i64
+    }
+
+    fn active_mask(&self, l: usize) -> u64 {
+        let mut m = 0u64;
+        for (lane, rt) in self.layers[l].iter().enumerate() {
+            if rt.active {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    fn alive_mask(&self, l: usize) -> u64 {
+        let mut m = 0u64;
+        for (lane, rt) in self.layers[l].iter().enumerate() {
+            if rt.active && rt.cur.is_some() {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    /// Evaluates the callbacks registered for `event` on layer `l`.
+    fn entries_for(&mut self, l: usize, event: Event, mask: u64) -> Vec<OutQEntry> {
+        let mut entries = Vec::new();
+        let layer = &self.prog.layers[l];
+        for cb in &layer.callbacks {
+            if cb.event != event {
+                continue;
+            }
+            let operands = cb
+                .operands
+                .iter()
+                .map(|op| match &layer.operands[op.0] {
+                    OperandDef::Vec { streams } => {
+                        let ty = streams
+                            .first()
+                            .map(|&s| self.stream_ty(s))
+                            .unwrap_or(StreamTy::Index);
+                        let vals = streams
+                            .iter()
+                            .map(|s| {
+                                if mask & (1 << s.lane) != 0 {
+                                    self.layers[l][s.lane].last.vals[s.stream]
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect();
+                        Operand::Vec { vals, ty }
+                    }
+                    OperandDef::Mask => Operand::Mask(mask),
+                    OperandDef::Scalar { stream } => Operand::Scalar {
+                        val: self.layers[stream.layer][stream.lane]
+                            .last
+                            .vals
+                            .get(stream.stream)
+                            .copied()
+                            .unwrap_or(0),
+                        ty: self.stream_ty(*stream),
+                    },
+                })
+                .collect();
+            entries.push(OutQEntry {
+                callback: cb.id,
+                mask,
+                operands,
+            });
+        }
+        self.entries_produced += entries.len() as u64;
+        entries
+    }
+
+    /// Initializes layer `l + 1`'s fibers after an `Ite` of layer `l`.
+    fn descend(&mut self, l: usize, mask: u64) {
+        let child = l + 1;
+        let parent_mode = self.prog.layers[l].mode;
+        let tus = self.prog.layers[child].tus.clone();
+        for (lane, tu) in tus.iter().enumerate() {
+            let p = tu.parent_lane;
+            let parent_ok = match parent_mode {
+                LayerMode::Single | LayerMode::Keep => true,
+                _ => mask & (1 << p) != 0,
+            };
+            let parent_rt = &self.layers[l][p];
+            if !parent_ok || !parent_rt.active {
+                self.layers[child][lane] = LaneRt::default();
+                continue;
+            }
+            let pv = parent_rt.last.vals.clone();
+            let pmem = parent_rt.last.mem_by_stream.clone();
+            // `origin` is the fiber start before any lane phase offset —
+            // the reference point of `IndexSrc::RelItePlus`.
+            let (i, origin, end, stride, mut bound_deps) = match tu.traversal {
+                TraversalDef::Dns { beg, end, stride } => (beg, beg, end, stride, Vec::new()),
+                TraversalDef::Rng {
+                    beg,
+                    end,
+                    offset,
+                    stride,
+                } => {
+                    let b0 = pv[beg.stream] as i64;
+                    let e = pv[end.stream] as i64;
+                    let mut deps = Vec::new();
+                    if let Some(Some(d)) = pmem.get(beg.stream) {
+                        deps.push(*d);
+                    }
+                    if let Some(Some(d)) = pmem.get(end.stream) {
+                        deps.push(*d);
+                    }
+                    (b0 + offset, b0, e, stride, deps)
+                }
+                TraversalDef::Idx {
+                    beg,
+                    size,
+                    offset,
+                    stride,
+                } => {
+                    let b0 = pv[beg.stream] as i64;
+                    let mut deps = Vec::new();
+                    if let Some(Some(d)) = pmem.get(beg.stream) {
+                        deps.push(*d);
+                    }
+                    (b0 + offset, b0, b0 + size, stride, deps)
+                }
+            };
+            // The child also cannot outrun its parent's own fiber bounds.
+            bound_deps.extend(parent_rt.bound_deps.iter().copied());
+            bound_deps.dedup();
+            self.layers[child][lane] = LaneRt {
+                active: true,
+                i,
+                beg: origin,
+                end,
+                stride,
+                bound_deps,
+                parent_vals: pv,
+                cur: None,
+                last: ElemRt::default(),
+            };
+        }
+        self.phase = Phase::Start(child);
+    }
+
+    /// Produces the next step, or `None` when traversal is complete.
+    pub fn next_step(&mut self) -> Option<Step> {
+        loop {
+            match self.phase {
+                Phase::Done => return None,
+                Phase::Start(l) => {
+                    let mask = self.active_mask(l);
+                    let gates: Vec<ElemId> = self.layers[l]
+                        .iter()
+                        .filter(|rt| rt.active)
+                        .flat_map(|rt| rt.bound_deps.iter().copied())
+                        .collect();
+                    self.phase = Phase::Step(l);
+                    let entries = self.entries_for(l, Event::Beg, mask);
+                    return Some(Step {
+                        layer: l as u8,
+                        kind: StepKind::Beg,
+                        mask,
+                        loads: Vec::new(),
+                        gates,
+                        consumed: Vec::new(),
+                        entries,
+                    });
+                }
+                Phase::Step(l) => {
+                    let step = self.group_step(l);
+                    if let Some(s) = step {
+                        return Some(s);
+                    }
+                    // group_step only returns None for ConjMrg skips that it
+                    // chose to elide; loop again.
+                }
+            }
+        }
+    }
+
+    fn end_step(&mut self, l: usize, loads: Vec<MemLoad>) -> Step {
+        let mask = self.active_mask(l);
+        let gates: Vec<ElemId> = self.layers[l]
+            .iter()
+            .filter(|rt| rt.active)
+            .flat_map(|rt| rt.bound_deps.iter().copied())
+            .collect();
+        // A conjunctive merge ends as soon as one fiber is exhausted;
+        // elements already peeked on the other lanes are discarded by the
+        // hardware — mark them consumed so their queue slots free up.
+        let mut consumed = Vec::new();
+        for lane in 0..self.layers[l].len() {
+            if self.layers[l][lane].cur.take().is_some() {
+                consumed.push((l as u8, lane as u8));
+            }
+        }
+        self.phase = if l == 0 {
+            Phase::Done
+        } else {
+            Phase::Step(l - 1)
+        };
+        let entries = self.entries_for(l, Event::End, mask);
+        Step {
+            layer: l as u8,
+            kind: StepKind::End,
+            mask,
+            loads,
+            gates,
+            consumed,
+            entries,
+        }
+    }
+
+    fn group_step(&mut self, l: usize) -> Option<Step> {
+        let mode = self.prog.layers[l].mode;
+        let lanes = self.prog.layers[l].tus.len();
+        let mut loads = Vec::new();
+        for lane in 0..lanes {
+            self.peek(l, lane, &mut loads);
+        }
+        let active = self.active_mask(l);
+        let alive = self.alive_mask(l);
+
+        let (mask, ended) = match mode {
+            LayerMode::Single | LayerMode::Keep | LayerMode::LockStep => {
+                if alive == 0 {
+                    (0, true)
+                } else {
+                    (alive, false)
+                }
+            }
+            LayerMode::DisjMrg => {
+                if alive == 0 {
+                    (0, true)
+                } else {
+                    let min = (0..lanes)
+                        .filter(|&j| alive & (1 << j) != 0)
+                        .map(|j| self.key_of(l, j))
+                        .min()
+                        .expect("alive non-empty");
+                    let mut m = 0u64;
+                    for j in 0..lanes {
+                        if alive & (1 << j) != 0 && self.key_of(l, j) == min {
+                            m |= 1 << j;
+                        }
+                    }
+                    (m, false)
+                }
+            }
+            LayerMode::ConjMrg => {
+                if active == 0 || alive != active {
+                    (0, true)
+                } else {
+                    let min = (0..lanes)
+                        .filter(|&j| alive & (1 << j) != 0)
+                        .map(|j| self.key_of(l, j))
+                        .min()
+                        .expect("alive non-empty");
+                    let mut m = 0u64;
+                    for j in 0..lanes {
+                        if alive & (1 << j) != 0 && self.key_of(l, j) == min {
+                            m |= 1 << j;
+                        }
+                    }
+                    (m, false)
+                }
+            }
+        };
+
+        if ended {
+            return Some(self.end_step(l, loads));
+        }
+
+        // Consume the participating lanes, gathering gates.
+        let mut gates = Vec::new();
+        let mut consumed = Vec::new();
+        for j in 0..lanes {
+            if mask & (1 << j) != 0 {
+                if let Some(cur) = self.layers[l][j].cur.as_ref() {
+                    gates.extend(cur.gates.iter().copied());
+                }
+                self.consume(l, j);
+                consumed.push((l as u8, j as u8));
+            }
+        }
+
+        // Conjunctive merge only emits when all active lanes participate.
+        if mode == LayerMode::ConjMrg && mask != active {
+            return Some(Step {
+                layer: l as u8,
+                kind: StepKind::Skip,
+                mask,
+                loads,
+                gates,
+                consumed,
+                entries: Vec::new(),
+            });
+        }
+
+        let entries = self.entries_for(l, Event::Ite, mask);
+        let step = Step {
+            layer: l as u8,
+            kind: StepKind::Ite,
+            mask,
+            loads,
+            gates,
+            consumed,
+            entries,
+        };
+        if l + 1 < self.prog.layers.len() {
+            self.descend(l, mask);
+        }
+        Some(step)
+    }
+}
+
+/// Runs a program to completion functionally, returning every outQ entry
+/// in order (convenience for tests and small examples).
+pub fn run_functional(prog: &Arc<Program>, image: &Arc<MemImage>) -> Vec<OutQEntry> {
+    let mut interp = Interp::new(Arc::clone(prog), Arc::clone(image));
+    let mut out = Vec::new();
+    while let Some(step) = interp.next_step() {
+        out.extend(step.entries);
+    }
+    out
+}
+
+/// Runs a program to completion, handing each outQ entry to `f`.
+pub fn for_each_entry(
+    prog: &Arc<Program>,
+    image: &Arc<MemImage>,
+    mut f: impl FnMut(&OutQEntry),
+) {
+    let mut interp = Interp::new(Arc::clone(prog), Arc::clone(image));
+    while let Some(step) = interp.next_step() {
+        for e in &step.entries {
+            f(e);
+        }
+    }
+}
+
+/// Batches steps from an interpreter (used by the timing engine).
+#[derive(Debug)]
+pub struct StepBatcher {
+    interp: Interp,
+    buf: VecDeque<Step>,
+    done: bool,
+}
+
+impl StepBatcher {
+    /// Wraps an interpreter.
+    pub fn new(interp: Interp) -> Self {
+        Self {
+            interp,
+            buf: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Ensures at least `n` steps are buffered (or the stream has ended);
+    /// returns whether any remain.
+    pub fn fill(&mut self, n: usize) -> bool {
+        while self.buf.len() < n && !self.done {
+            match self.interp.next_step() {
+                Some(s) => self.buf.push_back(s),
+                None => self.done = true,
+            }
+        }
+        !self.buf.is_empty()
+    }
+
+    /// Pops the next buffered step.
+    pub fn pop(&mut self) -> Option<Step> {
+        self.buf.pop_front()
+    }
+
+    /// Peeks the next buffered step.
+    pub fn peek(&mut self) -> Option<&Step> {
+        if self.buf.is_empty() {
+            self.fill(1);
+        }
+        self.buf.front()
+    }
+
+    /// Whether all steps have been drained.
+    pub fn exhausted(&mut self) -> bool {
+        self.buf.is_empty() && {
+            self.fill(1);
+            self.buf.is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{LayerMode, ProgramBuilder, StreamTy};
+    use tmu_sim::AddressMap;
+
+    /// Binds the Figure 1 CSR matrix and the Figure 8 SpMV program.
+    fn spmv_fixture() -> (Arc<Program>, Arc<MemImage>) {
+        // Figure 1 CSR: ptrs [0,2,2,3,5], idxs [0,2,1,0,3],
+        // vals [a,b,c,d,e] = [1,2,3,4,5], dense vector b = [10,20,30,40].
+        let mut map = AddressMap::new();
+        let ptrs_r = map.alloc_elems("ptrs", 5, 4);
+        let idxs_r = map.alloc_elems("idxs", 5, 4);
+        let vals_r = map.alloc_elems("vals", 5, 8);
+        let b_r = map.alloc_elems("b", 4, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(ptrs_r, Arc::new(vec![0, 2, 2, 3, 5]));
+        image.bind_u32(idxs_r, Arc::new(vec![0, 2, 1, 0, 3]));
+        image.bind_f64(vals_r, Arc::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]));
+        image.bind_f64(b_r, Arc::new(vec![10.0, 20.0, 30.0, 40.0]));
+
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let row = bld.dns_fbrt(l0, 0, 4, 1);
+        let ptbs = bld.mem_stream(row, ptrs_r.base, 4, StreamTy::Index);
+        let ptes = bld.mem_stream(row, ptrs_r.base + 4, 4, StreamTy::Index);
+        let l1 = bld.layer(LayerMode::LockStep);
+        let mut nnz = Vec::new();
+        let mut vecv = Vec::new();
+        for lane in 0..2i64 {
+            let col = bld.rng_fbrt(l1, ptbs, ptes, lane, 2);
+            let ci = bld.mem_stream(col, idxs_r.base, 4, StreamTy::Index);
+            nnz.push(bld.mem_stream(col, vals_r.base, 8, StreamTy::Value));
+            vecv.push(bld.mem_stream_indexed(col, b_r.base, 8, StreamTy::Value, ci));
+        }
+        let nnz_op = bld.vec_operand(l1, &nnz);
+        let vec_op = bld.vec_operand(l1, &vecv);
+        bld.callback(l1, Event::Ite, 0, &[nnz_op, vec_op]);
+        bld.callback(l1, Event::End, 1, &[]);
+        (
+            Arc::new(bld.build().expect("well-formed")),
+            Arc::new(image),
+        )
+    }
+
+    #[test]
+    fn figure9_walkthrough() {
+        // The Figure 9 example: SpMV inner-loop vectorized over the
+        // Figure 1 matrix. Row 0 has nnzs (a@0, b@2): lanes load (a, b)
+        // and (b[0], b[2]) in lockstep, then the row ends.
+        let (prog, image) = spmv_fixture();
+        let entries = run_functional(&prog, &image);
+        // Per row: ceil(nnz/2) ri entries + 1 re entry.
+        // Rows have 2, 0, 1, 2 nnz → 1 + 0 + 1 + 1 = 3 ri entries, 4 re.
+        let ri: Vec<_> = entries.iter().filter(|e| e.callback == 0).collect();
+        let re_count = entries.iter().filter(|e| e.callback == 1).count();
+        assert_eq!(ri.len(), 3);
+        assert_eq!(re_count, 4);
+        // Row 0 step: nnz values (1, 2), vector values (10, 30), mask 11.
+        assert_eq!(ri[0].mask, 0b11);
+        assert_eq!(ri[0].operands[0].as_f64s(), vec![1.0, 2.0]);
+        assert_eq!(ri[0].operands[1].as_f64s(), vec![10.0, 30.0]);
+        // Row 2 has one nnz: only lane 0 participates.
+        assert_eq!(ri[1].mask, 0b01);
+        assert_eq!(ri[1].operands[0].as_f64s(), vec![3.0, 0.0]);
+        assert_eq!(ri[1].operands[1].as_f64s(), vec![20.0, 0.0]);
+        // Row 3: nnzs (d@0, e@3) → values (4,5), vector (10,40).
+        assert_eq!(ri[2].operands[0].as_f64s(), vec![4.0, 5.0]);
+        assert_eq!(ri[2].operands[1].as_f64s(), vec![10.0, 40.0]);
+    }
+
+    #[test]
+    fn spmv_result_matches_reference() {
+        let (prog, image) = spmv_fixture();
+        // Host-side compute: sum += reduce(nnz*vec) per ri; store per re.
+        let mut x = Vec::new();
+        let mut sum = 0.0;
+        for_each_entry(&prog, &image, |e| match e.callback {
+            0 => {
+                let nnz = e.operands[0].as_f64s();
+                let vecv = e.operands[1].as_f64s();
+                sum += nnz.iter().zip(&vecv).map(|(a, b)| a * b).sum::<f64>();
+            }
+            1 => {
+                x.push(sum);
+                sum = 0.0;
+            }
+            _ => unreachable!(),
+        });
+        // Reference: row0 = 1*10 + 2*30 = 70; row1 = 0; row2 = 3*20 = 60;
+        // row3 = 4*10 + 5*40 = 240.
+        assert_eq!(x, vec![70.0, 0.0, 60.0, 240.0]);
+    }
+
+    #[test]
+    fn loads_have_dependencies_and_ordinals() {
+        let (prog, image) = spmv_fixture();
+        let mut interp = Interp::new(prog, image);
+        let mut loads = Vec::new();
+        while let Some(s) = interp.next_step() {
+            loads.extend(s.loads);
+        }
+        // Vector-value loads (chained) must depend on their column-index
+        // load; bound deps point at the row-pointer loads.
+        let chained: Vec<_> = loads
+            .iter()
+            .filter(|ld| ld.layer == 1 && !ld.deps.is_empty())
+            .collect();
+        assert!(!chained.is_empty());
+        let with_three_deps = loads
+            .iter()
+            .filter(|ld| ld.deps.len() >= 3)
+            .count();
+        assert!(
+            with_three_deps > 0,
+            "b[idx] loads carry bounds + index deps"
+        );
+        // Ordinals increase per TU.
+        let mut last = std::collections::HashMap::new();
+        for ld in &loads {
+            let k = (ld.layer, ld.lane);
+            let prev = last.insert(k, ld.elem_ordinal);
+            if let Some(p) = prev {
+                assert!(ld.elem_ordinal >= p, "ordinals must be monotonic");
+            }
+        }
+    }
+
+    #[test]
+    fn disjunctive_merge_matches_oracle() {
+        // Two singleton fibers merged disjunctively; compare against the
+        // tmu-tensor reference merge of Figure 2.
+        let mut map = AddressMap::new();
+        let ai = map.alloc_elems("ai", 3, 4);
+        let av = map.alloc_elems("av", 3, 8);
+        let bi = map.alloc_elems("bi", 3, 4);
+        let bv = map.alloc_elems("bv", 3, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(ai, Arc::new(vec![0, 2, 5]));
+        image.bind_f64(av, Arc::new(vec![1.0, 2.0, 5.0]));
+        image.bind_u32(bi, Arc::new(vec![2, 3, 5]));
+        image.bind_f64(bv, Arc::new(vec![3.0, 4.0, 6.0]));
+
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::DisjMrg);
+        let ta = bld.dns_fbrt(l0, 0, 3, 1);
+        let ka = bld.mem_stream(ta, ai.base, 4, StreamTy::Index);
+        let va = bld.mem_stream(ta, av.base, 8, StreamTy::Value);
+        let tb = bld.dns_fbrt(l0, 0, 3, 1);
+        let kb = bld.mem_stream(tb, bi.base, 4, StreamTy::Index);
+        let vb = bld.mem_stream(tb, bv.base, 8, StreamTy::Value);
+        bld.set_key(ta, ka);
+        bld.set_key(tb, kb);
+        let vals = bld.vec_operand(l0, &[va, vb]);
+        let keys = bld.vec_operand(l0, &[ka, kb]);
+        let mask = bld.mask_operand(l0);
+        bld.callback(l0, Event::Ite, 7, &[keys, vals, mask]);
+        let prog = Arc::new(bld.build().expect("well-formed"));
+        let image = Arc::new(image);
+
+        let entries = run_functional(&prog, &image);
+        let masks: Vec<u64> = entries.iter().map(|e| e.mask).collect();
+        // Figure 2 disjunctive: masks 01, 11, 10, 11 (bit0 = fiber A).
+        assert_eq!(masks, vec![0b01, 0b11, 0b10, 0b11]);
+        let sums: Vec<f64> = entries
+            .iter()
+            .map(|e| e.operands[1].as_f64s().iter().sum())
+            .collect();
+        assert_eq!(sums, vec![1.0, 5.0, 4.0, 11.0]);
+    }
+
+    #[test]
+    fn conjunctive_merge_intersects() {
+        let mut map = AddressMap::new();
+        let ai = map.alloc_elems("ai", 3, 4);
+        let av = map.alloc_elems("av", 3, 8);
+        let bi = map.alloc_elems("bi", 3, 4);
+        let bv = map.alloc_elems("bv", 3, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(ai, Arc::new(vec![0, 2, 5]));
+        image.bind_f64(av, Arc::new(vec![1.0, 2.0, 5.0]));
+        image.bind_u32(bi, Arc::new(vec![2, 3, 5]));
+        image.bind_f64(bv, Arc::new(vec![3.0, 4.0, 6.0]));
+
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::ConjMrg);
+        let ta = bld.dns_fbrt(l0, 0, 3, 1);
+        let ka = bld.mem_stream(ta, ai.base, 4, StreamTy::Index);
+        let va = bld.mem_stream(ta, av.base, 8, StreamTy::Value);
+        let tb = bld.dns_fbrt(l0, 0, 3, 1);
+        let kb = bld.mem_stream(tb, bi.base, 4, StreamTy::Index);
+        let vb = bld.mem_stream(tb, bv.base, 8, StreamTy::Value);
+        bld.set_key(ta, ka);
+        bld.set_key(tb, kb);
+        let vals = bld.vec_operand(l0, &[va, vb]);
+        bld.callback(l0, Event::Ite, 3, &[vals]);
+        let prog = Arc::new(bld.build().expect("well-formed"));
+        let image = Arc::new(image);
+
+        let entries = run_functional(&prog, &image);
+        let prods: Vec<f64> = entries
+            .iter()
+            .map(|e| e.operands[0].as_f64s().iter().product())
+            .collect();
+        // Intersection at coordinates 2 and 5: 2·3 and 5·6.
+        assert_eq!(prods, vec![6.0, 30.0]);
+    }
+
+    #[test]
+    fn lockstep_emits_begin_and_end_events() {
+        let (prog, image) = spmv_fixture();
+        let mut interp = Interp::new(prog, image);
+        let mut kinds = Vec::new();
+        while let Some(s) = interp.next_step() {
+            kinds.push((s.layer, s.kind));
+        }
+        // Outer traversal: Beg(0) ... End(0); each row wraps an inner
+        // Beg(1)/End(1) pair.
+        assert_eq!(kinds.first(), Some(&(0, StepKind::Beg)));
+        assert_eq!(kinds.last(), Some(&(0, StepKind::End)));
+        let inner_begs = kinds.iter().filter(|k| **k == (1, StepKind::Beg)).count();
+        let inner_ends = kinds.iter().filter(|k| **k == (1, StepKind::End)).count();
+        assert_eq!(inner_begs, 4, "one inner traversal per row");
+        assert_eq!(inner_begs, inner_ends);
+    }
+
+    #[test]
+    fn keep_mode_selects_one_lane_of_a_parallel_group() {
+        // Two lockstep lanes load different pointer pairs; a Keep child
+        // bound to lane 1 must traverse only lane 1's fiber.
+        let mut map = AddressMap::new();
+        let p0 = map.alloc_elems("p0", 2, 4);
+        let p1 = map.alloc_elems("p1", 2, 4);
+        let vals = map.alloc_elems("vals", 8, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(p0, Arc::new(vec![0, 2])); // lane 0's fiber: [0, 2)
+        image.bind_u32(p1, Arc::new(vec![4, 7])); // lane 1's fiber: [4, 7)
+        image.bind_f64(vals, Arc::new((0..8).map(f64::from).collect()));
+
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::LockStep);
+        let t0 = bld.dns_fbrt(l0, 0, 1, 1);
+        let b0 = bld.mem_stream(t0, p0.base, 4, StreamTy::Index);
+        let e0 = bld.mem_stream(t0, p0.base + 4, 4, StreamTy::Index);
+        let t1 = bld.dns_fbrt(l0, 0, 1, 1);
+        let b1 = bld.mem_stream(t1, p1.base, 4, StreamTy::Index);
+        let e1 = bld.mem_stream(t1, p1.base + 4, 4, StreamTy::Index);
+        let _ = (b0, e0);
+        let l1 = bld.layer(LayerMode::Keep);
+        let kept = bld.rng_fbrt(l1, b1, e1, 0, 1);
+        bld.bind_parent(kept, 1);
+        let v = bld.mem_stream(kept, vals.base, 8, StreamTy::Value);
+        let op = bld.vec_operand(l1, &[v]);
+        bld.callback(l1, Event::Ite, 0, &[op]);
+        let prog = Arc::new(bld.build().expect("well-formed"));
+
+        let entries = run_functional(&prog, &Arc::new(image));
+        let got: Vec<f64> = entries
+            .iter()
+            .map(|e| e.operands[0].as_f64s()[0])
+            .collect();
+        assert_eq!(got, vec![4.0, 5.0, 6.0], "Keep must follow lane 1 only");
+    }
+
+    #[test]
+    fn empty_matrix_produces_no_ite() {
+        let mut map = AddressMap::new();
+        let ptrs_r = map.alloc_elems("ptrs", 3, 4);
+        let idxs_r = map.alloc_elems("idxs", 1, 4);
+        let vals_r = map.alloc_elems("vals", 1, 8);
+        let mut image = MemImage::new();
+        image.bind_u32(ptrs_r, Arc::new(vec![0, 0, 0]));
+        image.bind_u32(idxs_r, Arc::new(vec![0]));
+        image.bind_f64(vals_r, Arc::new(vec![0.0]));
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let row = bld.dns_fbrt(l0, 0, 2, 1);
+        let ptbs = bld.mem_stream(row, ptrs_r.base, 4, StreamTy::Index);
+        let ptes = bld.mem_stream(row, ptrs_r.base + 4, 4, StreamTy::Index);
+        let l1 = bld.layer(LayerMode::Single);
+        let col = bld.rng_fbrt(l1, ptbs, ptes, 0, 1);
+        let v = bld.mem_stream(col, vals_r.base, 8, StreamTy::Value);
+        let op = bld.vec_operand(l1, &[v]);
+        bld.callback(l1, Event::Ite, 0, &[op]);
+        let prog = Arc::new(bld.build().expect("well-formed"));
+        let entries = run_functional(&prog, &Arc::new(image));
+        assert!(entries.is_empty(), "empty rows trigger no iteration");
+    }
+}

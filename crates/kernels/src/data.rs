@@ -1,0 +1,366 @@
+//! Simulation bindings for tensor data.
+//!
+//! A kernel needs its arrays in three places at once: the real values (for
+//! functional computation), virtual addresses (for the simulated memory
+//! hierarchy), and [`tmu::MemImage`] bindings (for the TMU's functional
+//! engine). The `*OnSim` types package all three.
+
+use std::sync::Arc;
+
+use tmu::MemImage;
+use tmu_sim::{AddressMap, Region};
+use tmu_tensor::{CooTensor, CsfTensor, CsrMatrix, DcsrMatrix};
+
+/// A CSR matrix bound into the simulated address space.
+#[derive(Debug, Clone)]
+pub struct CsrOnSim {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointers (`rows + 1`).
+    pub ptrs: Arc<Vec<u32>>,
+    /// Column indexes.
+    pub idxs: Arc<Vec<u32>>,
+    /// Values.
+    pub vals: Arc<Vec<f64>>,
+    /// Region of `ptrs`.
+    pub ptrs_r: Region,
+    /// Region of `idxs`.
+    pub idxs_r: Region,
+    /// Region of `vals`.
+    pub vals_r: Region,
+}
+
+impl CsrOnSim {
+    /// Allocates regions for `csr` and binds them in `image`.
+    pub fn bind(map: &mut AddressMap, image: &mut MemImage, name: &str, csr: &CsrMatrix) -> Self {
+        let ptrs = Arc::new(csr.row_ptrs().to_vec());
+        let idxs = Arc::new(csr.col_idxs().to_vec());
+        let vals = Arc::new(csr.vals().to_vec());
+        let ptrs_r = map.alloc_elems(&format!("{name}.ptrs"), ptrs.len(), 4);
+        let idxs_r = map.alloc_elems(&format!("{name}.idxs"), idxs.len().max(1), 4);
+        let vals_r = map.alloc_elems(&format!("{name}.vals"), vals.len().max(1), 8);
+        image.bind_u32(ptrs_r, Arc::clone(&ptrs));
+        image.bind_u32(idxs_r, Arc::clone(&idxs));
+        image.bind_f64(vals_r, Arc::clone(&vals));
+        Self {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            ptrs,
+            idxs,
+            vals,
+            ptrs_r,
+            idxs_r,
+            vals_r,
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `(start, end)` positions of row `r`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        (self.ptrs[r] as usize, self.ptrs[r + 1] as usize)
+    }
+}
+
+/// A DCSR matrix bound into the simulated address space.
+#[derive(Debug, Clone)]
+pub struct DcsrOnSim {
+    /// Logical rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Indexes of non-empty rows.
+    pub row_idxs: Arc<Vec<u32>>,
+    /// Row pointers over stored rows.
+    pub row_ptrs: Arc<Vec<u32>>,
+    /// Column indexes.
+    pub idxs: Arc<Vec<u32>>,
+    /// Values.
+    pub vals: Arc<Vec<f64>>,
+    /// Region of `row_idxs`.
+    pub row_idxs_r: Region,
+    /// Region of `row_ptrs`.
+    pub row_ptrs_r: Region,
+    /// Region of `idxs`.
+    pub idxs_r: Region,
+    /// Region of `vals`.
+    pub vals_r: Region,
+}
+
+impl DcsrOnSim {
+    /// Allocates regions for `m` and binds them in `image`.
+    pub fn bind(map: &mut AddressMap, image: &mut MemImage, name: &str, m: &DcsrMatrix) -> Self {
+        let row_idxs = Arc::new(m.row_idxs().to_vec());
+        let row_ptrs = Arc::new(m.row_ptrs().to_vec());
+        let idxs = Arc::new(m.col_idxs().to_vec());
+        let vals = Arc::new(m.vals().to_vec());
+        let row_idxs_r = map.alloc_elems(&format!("{name}.row_idxs"), row_idxs.len().max(1), 4);
+        let row_ptrs_r = map.alloc_elems(&format!("{name}.row_ptrs"), row_ptrs.len(), 4);
+        let idxs_r = map.alloc_elems(&format!("{name}.idxs"), idxs.len().max(1), 4);
+        let vals_r = map.alloc_elems(&format!("{name}.vals"), vals.len().max(1), 8);
+        image.bind_u32(row_idxs_r, Arc::clone(&row_idxs));
+        image.bind_u32(row_ptrs_r, Arc::clone(&row_ptrs));
+        image.bind_u32(idxs_r, Arc::clone(&idxs));
+        image.bind_f64(vals_r, Arc::clone(&vals));
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_idxs,
+            row_ptrs,
+            idxs,
+            vals,
+            row_idxs_r,
+            row_ptrs_r,
+            idxs_r,
+            vals_r,
+        }
+    }
+
+    /// Stored (non-empty) row count.
+    pub fn stored_rows(&self) -> usize {
+        self.row_idxs.len()
+    }
+}
+
+/// A dense f64 array bound into the simulated address space.
+#[derive(Debug, Clone)]
+pub struct DenseOnSim {
+    /// Values.
+    pub data: Arc<Vec<f64>>,
+    /// Region of the array.
+    pub region: Region,
+}
+
+impl DenseOnSim {
+    /// Allocates a region for `data` and binds it in `image`.
+    pub fn bind(map: &mut AddressMap, image: &mut MemImage, name: &str, data: Vec<f64>) -> Self {
+        let data = Arc::new(data);
+        let region = map.alloc_elems(name, data.len().max(1), 8);
+        image.bind_f64(region, Arc::clone(&data));
+        Self { data, region }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A COO tensor bound into the simulated address space (one index array
+/// per mode plus values).
+#[derive(Debug, Clone)]
+pub struct CooOnSim {
+    /// Dimensions.
+    pub dims: Vec<usize>,
+    /// Per-mode coordinate arrays.
+    pub idxs: Vec<Arc<Vec<u32>>>,
+    /// Values.
+    pub vals: Arc<Vec<f64>>,
+    /// Regions of the coordinate arrays.
+    pub idxs_r: Vec<Region>,
+    /// Region of the values.
+    pub vals_r: Region,
+}
+
+impl CooOnSim {
+    /// Allocates regions for `t` and binds them in `image`.
+    pub fn bind(map: &mut AddressMap, image: &mut MemImage, name: &str, t: &CooTensor) -> Self {
+        let order = t.order();
+        let mut idxs = Vec::with_capacity(order);
+        let mut idxs_r = Vec::with_capacity(order);
+        for d in 0..order {
+            let arr = Arc::new(t.mode_idxs(d).to_vec());
+            let r = map.alloc_elems(&format!("{name}.idx{d}"), arr.len().max(1), 4);
+            image.bind_u32(r, Arc::clone(&arr));
+            idxs.push(arr);
+            idxs_r.push(r);
+        }
+        let vals = Arc::new(t.vals().to_vec());
+        let vals_r = map.alloc_elems(&format!("{name}.vals"), vals.len().max(1), 8);
+        image.bind_f64(vals_r, Arc::clone(&vals));
+        Self {
+            dims: t.dims().to_vec(),
+            idxs,
+            vals,
+            idxs_r,
+            vals_r,
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// A CSF tensor bound into the simulated address space.
+#[derive(Debug, Clone)]
+pub struct CsfOnSim {
+    /// Dimensions.
+    pub dims: Vec<usize>,
+    /// Per-level pointer arrays (`order - 1`).
+    pub ptrs: Vec<Arc<Vec<u32>>>,
+    /// Per-level coordinate arrays (`order`).
+    pub idxs: Vec<Arc<Vec<u32>>>,
+    /// Values.
+    pub vals: Arc<Vec<f64>>,
+    /// Regions of the pointer arrays.
+    pub ptrs_r: Vec<Region>,
+    /// Regions of the coordinate arrays.
+    pub idxs_r: Vec<Region>,
+    /// Region of the values.
+    pub vals_r: Region,
+}
+
+impl CsfOnSim {
+    /// Allocates regions for `t` and binds them in `image`.
+    pub fn bind(map: &mut AddressMap, image: &mut MemImage, name: &str, t: &CsfTensor) -> Self {
+        let order = t.order();
+        let mut ptrs = Vec::new();
+        let mut ptrs_r = Vec::new();
+        for l in 0..order.saturating_sub(1) {
+            let arr = Arc::new(t.ptrs(l).to_vec());
+            let r = map.alloc_elems(&format!("{name}.ptr{l}"), arr.len().max(1), 4);
+            image.bind_u32(r, Arc::clone(&arr));
+            ptrs.push(arr);
+            ptrs_r.push(r);
+        }
+        let mut idxs = Vec::new();
+        let mut idxs_r = Vec::new();
+        for l in 0..order {
+            let arr = Arc::new(t.idxs(l).to_vec());
+            let r = map.alloc_elems(&format!("{name}.idx{l}"), arr.len().max(1), 4);
+            image.bind_u32(r, Arc::clone(&arr));
+            idxs.push(arr);
+            idxs_r.push(r);
+        }
+        let vals = Arc::new(t.vals().to_vec());
+        let vals_r = map.alloc_elems(&format!("{name}.vals"), vals.len().max(1), 8);
+        image.bind_f64(vals_r, Arc::clone(&vals));
+        Self {
+            dims: t.dims().to_vec(),
+            ptrs,
+            idxs,
+            vals,
+            ptrs_r,
+            idxs_r,
+            vals_r,
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// Splits `rows` into `shards` contiguous ranges with balanced nnz counts
+/// (static scheduling as used by the paper's multithreaded baselines).
+pub fn partition_rows(ptrs: &[u32], shards: usize) -> Vec<(usize, usize)> {
+    let rows = ptrs.len() - 1;
+    let nnz = *ptrs.last().expect("ptrs non-empty") as usize;
+    let target = nnz.div_ceil(shards.max(1));
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let goal = ((s + 1) * target).min(nnz) as u32;
+        let mut end = start;
+        while end < rows && ptrs[end] < goal {
+            end += 1;
+        }
+        if s == shards - 1 {
+            end = rows;
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Splits `n` items into `shards` contiguous equal ranges.
+pub fn partition_flat(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let per = n.div_ceil(shards.max(1));
+    (0..shards)
+        .map(|s| ((s * per).min(n), ((s + 1) * per).min(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_tensor::gen;
+
+    #[test]
+    fn csr_binding_roundtrips() {
+        let m = gen::uniform(32, 32, 4, 1);
+        let mut map = AddressMap::new();
+        let mut image = MemImage::new();
+        let sim = CsrOnSim::bind(&mut map, &mut image, "a", &m);
+        assert_eq!(sim.nnz(), m.nnz());
+        // The image must read back the same values.
+        assert_eq!(image.read_index(sim.ptrs_r.u32_at(1)), m.row_ptrs()[1] as i64);
+        let v = f64::from_bits(image.read_bits(sim.vals_r.f64_at(0)));
+        assert_eq!(v, m.vals()[0]);
+    }
+
+    #[test]
+    fn partition_rows_balances_nnz() {
+        let m = gen::rmat(10, 8192, 3);
+        let parts = partition_rows(m.row_ptrs(), 8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[7].1, m.rows());
+        // Contiguous and complete.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // Reasonably balanced in nnz (within 3× of ideal for skewed input).
+        let nnz_of = |(a, b): (usize, usize)| {
+            (m.row_ptrs()[b] - m.row_ptrs()[a]) as usize
+        };
+        let ideal = m.nnz() / 8;
+        let max = parts.iter().map(|&p| nnz_of(p)).max().expect("non-empty");
+        assert!(max < 3 * ideal + 64, "max shard {max} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn partition_flat_covers_everything() {
+        let parts = partition_flat(100, 8);
+        assert_eq!(parts[0], (0, 13));
+        assert_eq!(parts.last(), Some(&(91, 100)));
+        let total: usize = parts.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn csf_binding_matches_tensor() {
+        let t = gen::random_tensor(&[16, 8, 8], 64, 2);
+        let csf = CsfTensor::from_coo(&t);
+        let mut map = AddressMap::new();
+        let mut image = MemImage::new();
+        let sim = CsfOnSim::bind(&mut map, &mut image, "t", &csf);
+        assert_eq!(sim.nnz(), 64);
+        assert_eq!(sim.ptrs.len(), 2);
+        assert_eq!(sim.idxs.len(), 3);
+    }
+
+    #[test]
+    fn dcsr_binding_matches() {
+        let m = gen::road(128, 2, 7);
+        let d = DcsrMatrix::from_csr(&m);
+        let mut map = AddressMap::new();
+        let mut image = MemImage::new();
+        let sim = DcsrOnSim::bind(&mut map, &mut image, "d", &d);
+        assert_eq!(sim.stored_rows(), d.num_stored_rows());
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for kernel implementations.
+
+use tmu_sim::{Deps, Machine, OpId};
+
+/// Folds an arbitrary number of producer ops into at most three
+/// dependencies, inserting pairwise combine ops where needed.
+///
+/// Vector gathers are modeled as per-element loads; a consumer of the
+/// gathered register depends on all of them. Real SVE gathers crack into
+/// per-element µops plus merge µops — the combine ops inserted here model
+/// that merge cost.
+pub fn fold_deps<M: Machine + ?Sized>(m: &mut M, ids: &[OpId]) -> Deps {
+    if ids.len() <= 3 {
+        return Deps::on(ids);
+    }
+    let mut level: Vec<OpId> = ids.to_vec();
+    while level.len() > 3 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(m.int_op(Deps::on(pair)));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    Deps::on(&level)
+}
+
+/// Maximum relative error between two result vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_rel_err(got: &[f64], want: &[f64]) -> f64 {
+    assert_eq!(got.len(), want.len(), "result length mismatch");
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| {
+            let scale = w.abs().max(1e-30);
+            (g - w).abs() / scale
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Verifies two result vectors agree to `tol` relative error.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn check_close(what: &str, got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: length mismatch ({} vs {})",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1e-30);
+        if (g - w).abs() / scale > tol {
+            return Err(format!("{what}: mismatch at {i}: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_sim::{CountingMachine, VecMachine};
+
+    #[test]
+    fn fold_deps_small_is_direct() {
+        let mut m = CountingMachine::new();
+        let a = m.int_op(Deps::NONE);
+        let b = m.int_op(Deps::NONE);
+        let before = m.ops;
+        let d = fold_deps(&mut m, &[a, b]);
+        assert_eq!(m.ops, before, "no combine ops for ≤3 producers");
+        assert_eq!(d.iter().count(), 2);
+    }
+
+    #[test]
+    fn fold_deps_large_builds_tree() {
+        let mut m = VecMachine::new();
+        let ids: Vec<OpId> = (0..8).map(|_| m.int_op(Deps::NONE)).collect();
+        let before = m.ops.len();
+        let d = fold_deps(&mut m, &ids);
+        // 8 → 4 (4 combines) → 2 (2 combines): exactly 6 extra ops.
+        assert_eq!(m.ops.len() - before, 6);
+        assert!(d.iter().count() <= 3);
+    }
+
+    #[test]
+    fn check_close_detects_mismatch() {
+        assert!(check_close("x", &[1.0], &[1.0 + 1e-12], 1e-9).is_ok());
+        assert!(check_close("x", &[1.0], &[2.0], 1e-9).is_err());
+        assert!(check_close("x", &[1.0, 2.0], &[1.0], 1e-9).is_err());
+    }
+
+    #[test]
+    fn max_rel_err_is_relative() {
+        assert!(max_rel_err(&[1000.0], &[1000.1]) < 1e-3);
+        assert!(max_rel_err(&[0.0], &[0.0]) == 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Virtual address space management for simulated kernels.
+//!
+//! Kernels address their arrays through an [`AddressMap`]: a bump allocator
+//! that hands out page-aligned, non-overlapping virtual regions. The
+//! resulting addresses flow through the cache hierarchy exactly like real
+//! pointers, so aliasing, cacheline sharing between adjacent elements, and
+//! page-boundary effects behave faithfully.
+
+/// Cacheline size used throughout the memory hierarchy (bytes).
+pub const CACHELINE: u64 = 64;
+
+/// Page size used for alignment of allocated regions (bytes).
+pub const PAGE: u64 = 4096;
+
+/// Returns the cacheline-aligned address containing `addr`.
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(CACHELINE - 1)
+}
+
+/// A named, page-aligned virtual region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Address of the `i`-th element of size `elem` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the element lies outside the region.
+    pub fn at(&self, i: usize, elem: u64) -> u64 {
+        let off = i as u64 * elem;
+        debug_assert!(
+            off + elem <= self.len,
+            "element {i} (elem size {elem}) outside region of {} bytes",
+            self.len
+        );
+        self.base + off
+    }
+
+    /// Address of the `i`-th 8-byte element (f64 / u64 arrays).
+    pub fn f64_at(&self, i: usize) -> u64 {
+        self.at(i, 8)
+    }
+
+    /// Address of the `i`-th 4-byte element (u32 index arrays).
+    pub fn u32_at(&self, i: usize) -> u64 {
+        self.at(i, 4)
+    }
+}
+
+/// Bump allocator for simulated virtual memory.
+///
+/// The zero page is never allocated so that address 0 can serve as a null
+/// sentinel.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    next: u64,
+    regions: Vec<(String, Region)>,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressMap {
+    /// Creates an empty address map.
+    pub fn new() -> Self {
+        Self {
+            next: PAGE,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Allocates a page-aligned region of at least `bytes` bytes.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> Region {
+        let len = bytes.max(1).div_ceil(PAGE) * PAGE;
+        let region = Region {
+            base: self.next,
+            len,
+        };
+        self.next += len;
+        self.regions.push((name.to_owned(), region));
+        region
+    }
+
+    /// Allocates a region sized for `n` elements of `elem` bytes.
+    pub fn alloc_elems(&mut self, name: &str, n: usize, elem: u64) -> Region {
+        self.alloc(name, n as u64 * elem)
+    }
+
+    /// Total allocated bytes (page-rounded).
+    pub fn allocated(&self) -> u64 {
+        self.next - PAGE
+    }
+
+    /// Looks up a region by name (diagnostics only).
+    pub fn region(&self, name: &str) -> Option<Region> {
+        self.regions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut map = AddressMap::new();
+        let a = map.alloc("a", 100);
+        let b = map.alloc("b", 5000);
+        assert_eq!(a.base % PAGE, 0);
+        assert_eq!(b.base % PAGE, 0);
+        assert!(a.base + a.len <= b.base);
+        assert!(a.base >= PAGE, "zero page must stay unmapped");
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut map = AddressMap::new();
+        let r = map.alloc_elems("vals", 16, 8);
+        assert_eq!(r.f64_at(0), r.base);
+        assert_eq!(r.f64_at(2), r.base + 16);
+        assert_eq!(r.u32_at(3), r.base + 12);
+    }
+
+    #[test]
+    fn line_of_masks_offset() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut map = AddressMap::new();
+        let r = map.alloc("x", 8);
+        assert_eq!(map.region("x"), Some(r));
+        assert_eq!(map.region("y"), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Canned system configurations.
+//!
+//! * [`neoverse_n1_system`] — the paper's Table 5 evaluation system;
+//! * [`a64fx_like`] / [`graviton3_like`] — the two processors profiled in
+//!   the Figure 3 motivation study, reduced to 8 cores while preserving the
+//!   contrasts the paper draws: the A64FX-like machine has high per-core
+//!   memory bandwidth but a narrow out-of-order window and small private
+//!   caches; the Graviton3-like machine has aggressive cores and large
+//!   caches but little per-core bandwidth.
+
+use crate::cache::CacheConfig;
+use crate::core::CoreConfig;
+use crate::dram::DramConfig;
+use crate::memsys::MemSysConfig;
+use crate::system::SystemConfig;
+
+/// The Table 5 system: 8 Neoverse-N1-like cores at 2.4 GHz, 3 cache
+/// levels, 4 HBM2e channels, 4×4 mesh.
+pub fn neoverse_n1_system() -> SystemConfig {
+    SystemConfig {
+        core: CoreConfig::neoverse_n1_like(),
+        mem: MemSysConfig::table5(8),
+    }
+}
+
+/// Table 5 system with a different SVE width (Figure 14 sensitivity).
+pub fn neoverse_n1_with_sve(sve_bits: u32) -> SystemConfig {
+    let mut cfg = neoverse_n1_system();
+    cfg.core.sve_bits = sve_bits;
+    cfg
+}
+
+/// An A64FX-like configuration (Figure 3): HPC processor with ~1 TB/s for
+/// 48 cores (≈21 GB/s per core — here 8 cores on 5 channels), a modest
+/// out-of-order window, and no mid-level cache to speak of.
+pub fn a64fx_like() -> SystemConfig {
+    SystemConfig {
+        core: CoreConfig {
+            fetch_width: 2,
+            commit_width: 2,
+            rob: 128,
+            lq: 40,
+            sq: 24,
+            mispredict_penalty: 14,
+            int_lat: 1,
+            fp_lat: 4,
+            vec_lat: 4,
+            sve_bits: 512,
+            load_ports: 2,
+            store_ports: 1,
+            vec_ports: 2,
+            freq_ghz: 2.2,
+        },
+        mem: MemSysConfig {
+            cores: 8,
+            l1: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 4,
+                latency: 3,
+                mshrs: 16,
+            },
+            // A64FX has no private L2; model a small combining buffer.
+            l2: CacheConfig {
+                size_bytes: 128 << 10,
+                ways: 8,
+                latency: 8,
+                mshrs: 24,
+            },
+            llc_slice: CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 16,
+                latency: 30,
+                mshrs: 128,
+            },
+            llc_slices: 8,
+            dram: DramConfig::hbm2e(5),
+            l1_stride_degree: 2,
+            l2_best_offset: false,
+            accel_outstanding: 128,
+        },
+    }
+}
+
+/// A Graviton-3-like configuration (Figure 3): data-center processor with
+/// ~300 GB/s for 64 cores (≈4.7 GB/s per core — here 8 cores on 1
+/// channel), aggressive cores and large caches.
+pub fn graviton3_like() -> SystemConfig {
+    SystemConfig {
+        core: CoreConfig {
+            fetch_width: 8,
+            commit_width: 8,
+            rob: 512,
+            lq: 128,
+            sq: 64,
+            mispredict_penalty: 11,
+            int_lat: 1,
+            fp_lat: 4,
+            vec_lat: 4,
+            sve_bits: 256,
+            load_ports: 3,
+            store_ports: 2,
+            vec_ports: 4,
+            freq_ghz: 2.6,
+        },
+        mem: MemSysConfig {
+            cores: 8,
+            l1: CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 4,
+                latency: 2,
+                mshrs: 48,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 8,
+                latency: 10,
+                mshrs: 64,
+            },
+            llc_slice: CacheConfig {
+                size_bytes: 4 << 20,
+                ways: 16,
+                latency: 25,
+                mshrs: 96,
+            },
+            llc_slices: 8,
+            dram: DramConfig::hbm2e(1),
+            l1_stride_degree: 2,
+            l2_best_offset: true,
+            accel_outstanding: 128,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_parameters_match_paper() {
+        let cfg = neoverse_n1_system();
+        assert_eq!(cfg.cores(), 8);
+        assert_eq!(cfg.core.rob, 224);
+        assert_eq!(cfg.core.lq, 96);
+        assert_eq!(cfg.core.sve_bits, 512);
+        assert_eq!(cfg.mem.l1.size_bytes, 64 << 10);
+        assert_eq!(cfg.mem.l1.mshrs, 32);
+        assert_eq!(cfg.mem.l2.size_bytes, 512 << 10);
+        assert_eq!(cfg.mem.l2.mshrs, 64);
+        assert_eq!(cfg.mem.llc_slices, 8);
+        assert_eq!(cfg.mem.llc_slice.size_bytes, 1 << 20);
+        assert_eq!(cfg.mem.llc_slice.mshrs, 128);
+        assert_eq!(cfg.mem.dram.channels, 4);
+        assert_eq!(cfg.mem.accel_outstanding, 128);
+    }
+
+    #[test]
+    fn fig3_configs_preserve_the_paper_contrast() {
+        let a = a64fx_like();
+        let g = graviton3_like();
+        // A64FX: more per-core bandwidth.
+        let a_bw = a.mem.dram.peak_bytes_per_cycle() * a.core.freq_ghz;
+        let g_bw = g.mem.dram.peak_bytes_per_cycle() * g.core.freq_ghz;
+        assert!(a_bw > 3.0 * g_bw, "A64FX must have ≫ per-core bandwidth");
+        // Graviton 3: bigger window and caches.
+        assert!(g.core.rob > 2 * a.core.rob);
+        assert!(g.mem.l2.size_bytes > a.mem.l2.size_bytes);
+    }
+
+    #[test]
+    fn sve_override() {
+        let cfg = neoverse_n1_with_sve(256);
+        assert_eq!(cfg.core.sve_lanes(), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Dynamic operation stream format.
+//!
+//! Kernels written against the [`crate::Machine`] trait emit a stream of
+//! [`Op`]s — the simulator's equivalent of a committed-path dynamic
+//! instruction trace. Each op carries a static *site* (a pseudo program
+//! counter used by the branch predictor and prefetchers), explicit data
+//! dependencies on earlier ops, and kind-specific payload (address, taken
+//! direction, FLOP count).
+
+/// Identifier of a dynamic operation within one core's stream.
+///
+/// Sequence numbers are assigned in program order starting from 1; `OpId(0)`
+/// is reserved as "no dependency".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The "no dependency" sentinel.
+    pub const NONE: OpId = OpId(0);
+
+    /// Whether this is a real op reference.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// A static code site: a pseudo program counter.
+///
+/// Kernels give each distinct load/branch in their source a stable site so
+/// the branch predictor and the stride/indirect prefetchers can learn
+/// per-site behaviour, like real hardware keys its tables by PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Site(pub u16);
+
+/// Up to three explicit data dependencies of an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deps {
+    ids: [OpId; 3],
+}
+
+impl Deps {
+    /// No dependencies.
+    pub const NONE: Deps = Deps {
+        ids: [OpId::NONE; 3],
+    };
+
+    /// Dependencies on the given ops (at most 3; extra entries must be
+    /// folded by the caller through an intermediate op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three ids are supplied.
+    pub fn on(ids: &[OpId]) -> Deps {
+        assert!(ids.len() <= 3, "at most 3 explicit deps per op");
+        let mut d = Deps::NONE;
+        for (slot, &id) in d.ids.iter_mut().zip(ids) {
+            *slot = id;
+        }
+        d
+    }
+
+    /// Iterates the real (non-sentinel) dependencies.
+    pub fn iter(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ids.iter().copied().filter(|d| d.is_some())
+    }
+}
+
+impl From<OpId> for Deps {
+    fn from(id: OpId) -> Deps {
+        Deps::on(&[id])
+    }
+}
+
+/// The kind of a dynamic operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// Scalar integer/address arithmetic (1-cycle latency).
+    IntAlu,
+    /// Scalar floating-point op; `flops` counted for roofline analysis.
+    FpAlu {
+        /// FLOPs performed.
+        flops: u32,
+    },
+    /// SIMD arithmetic op (multiply, add, FMA, reduce...).
+    VecAlu {
+        /// FLOPs performed across all lanes.
+        flops: u32,
+    },
+    /// Scalar load of `bytes` from `addr`.
+    Load {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// Contiguous vector load (one cacheline-friendly access).
+    VecLoad {
+        /// Virtual address of the first element.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// Scalar or element store.
+    Store {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+    },
+    /// Conditional branch with its committed direction.
+    Branch {
+        /// Actual (committed-path) direction.
+        taken: bool,
+    },
+    /// Zero-cost marker: the last op generated from outQ chunk `chunk`.
+    ///
+    /// When it commits, the host core acknowledges the chunk to its
+    /// attached accelerator (freeing one of the double buffers).
+    ChunkEnd {
+        /// Chunk sequence number.
+        chunk: u32,
+    },
+}
+
+/// A dynamic operation: one element of a core's committed-path trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op {
+    /// Program-order sequence number (1-based).
+    pub id: OpId,
+    /// Static code site.
+    pub site: Site,
+    /// Kind and payload.
+    pub kind: OpKind,
+    /// Explicit data dependencies.
+    pub deps: Deps,
+    /// Earliest cycle at which the front end may see this op
+    /// (0 for ordinary kernel ops; set by accelerators to the cycle their
+    /// producing outQ chunk became visible to the core).
+    pub visible_at: u64,
+}
+
+impl Op {
+    /// Whether the op occupies a load-queue entry.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, OpKind::Load { .. } | OpKind::VecLoad { .. })
+    }
+
+    /// Whether the op occupies a store-queue entry.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, OpKind::Store { .. })
+    }
+
+    /// FLOPs this op contributes to the roofline numerator.
+    pub fn flops(&self) -> u64 {
+        match self.kind {
+            OpKind::FpAlu { flops } | OpKind::VecAlu { flops } => flops as u64,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deps_iteration_skips_sentinels() {
+        let d = Deps::on(&[OpId(3), OpId::NONE, OpId(7)]);
+        let real: Vec<_> = d.iter().collect();
+        assert_eq!(real, vec![OpId(3), OpId(7)]);
+        assert_eq!(Deps::NONE.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3")]
+    fn deps_capacity_enforced() {
+        Deps::on(&[OpId(1), OpId(2), OpId(3), OpId(4)]);
+    }
+
+    #[test]
+    fn op_classification() {
+        let op = Op {
+            id: OpId(1),
+            site: Site(0),
+            kind: OpKind::Load { addr: 64, bytes: 8 },
+            deps: Deps::NONE,
+            visible_at: 0,
+        };
+        assert!(op.is_load());
+        assert!(!op.is_store());
+        assert_eq!(op.flops(), 0);
+        let v = Op {
+            kind: OpKind::VecAlu { flops: 16 },
+            ..op
+        };
+        assert_eq!(v.flops(), 16);
+    }
+}

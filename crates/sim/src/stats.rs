@@ -1,0 +1,175 @@
+//! Run-level statistics and the roofline model of Figure 12.
+
+use crate::core::CoreStats;
+
+/// Statistics of one complete simulated run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Wall-clock cycles of the whole run (slowest core).
+    pub cycles: u64,
+    /// Per-core accounting.
+    pub cores: Vec<CoreStats>,
+    /// Bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// DRAM row-buffer hit fraction.
+    pub dram_row_hit_rate: f64,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+impl RunStats {
+    /// Aggregate of all per-core stats.
+    pub fn total(&self) -> CoreStats {
+        let mut acc = CoreStats::default();
+        for c in &self.cores {
+            acc.merge(c);
+        }
+        acc
+    }
+
+    /// Total FLOPs across cores.
+    pub fn flops(&self) -> u64 {
+        self.cores.iter().map(|c| c.flops).sum()
+    }
+
+    /// Runtime in seconds at the configured clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops() as f64 / self.seconds() / 1e9
+        }
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn bandwidth_gbs(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / self.seconds() / 1e9
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte (the roofline x-axis).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            0.0
+        } else {
+            self.flops() as f64 / self.dram_bytes as f64
+        }
+    }
+
+    /// Average load-to-use latency across cores, weighted by load count.
+    pub fn avg_load_to_use(&self) -> f64 {
+        let t = self.total();
+        t.avg_load_to_use()
+    }
+
+    /// Normalized `(committing, frontend, backend)` cycle fractions
+    /// aggregated over cores.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        self.total().breakdown()
+    }
+
+    /// One point of a roofline plot.
+    pub fn roofline_point(&self) -> RooflinePoint {
+        RooflinePoint {
+            intensity: self.arithmetic_intensity(),
+            gflops: self.gflops(),
+            bandwidth_gbs: self.bandwidth_gbs(),
+        }
+    }
+}
+
+/// A measured point on a roofline plot (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RooflinePoint {
+    /// FLOP per DRAM byte.
+    pub intensity: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Achieved DRAM bandwidth (GB/s).
+    pub bandwidth_gbs: f64,
+}
+
+/// The machine ceilings of a roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Roofline {
+    /// Peak compute in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Builds ceilings for `cores` cores with `lanes` f64 SIMD lanes at
+    /// `freq_ghz`, assuming one FMA vector pipe (2 FLOPs/lane/cycle), and
+    /// the given DRAM peak.
+    pub fn for_machine(cores: usize, lanes: usize, freq_ghz: f64, peak_bw_gbs: f64) -> Self {
+        Self {
+            peak_gflops: cores as f64 * lanes as f64 * 2.0 * freq_ghz,
+            peak_bandwidth_gbs: peak_bw_gbs,
+        }
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` (the roofline).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.peak_bandwidth_gbs).min(self.peak_gflops)
+    }
+
+    /// The ridge point: intensity at which the machine turns compute-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_gflops / self.peak_bandwidth_gbs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        let mut core = CoreStats::default();
+        core.flops = 2_400_000;
+        core.cycles = 1_000_000;
+        RunStats {
+            cycles: 1_000_000,
+            cores: vec![core],
+            dram_bytes: 4_800_000,
+            dram_row_hit_rate: 0.5,
+            freq_ghz: 2.4,
+        }
+    }
+
+    #[test]
+    fn gflops_and_bandwidth() {
+        let s = sample();
+        // 2.4 MFLOP over 1M cycles at 2.4 GHz = 1M cycles / 2.4e9 Hz
+        // = 416.7 µs → 5.76 GFLOP/s.
+        assert!((s.gflops() - 5.76).abs() < 0.01, "{}", s.gflops());
+        assert!((s.bandwidth_gbs() - 11.52).abs() < 0.01);
+        assert!((s.arithmetic_intensity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_ceilings() {
+        // Table 5: 8 cores × 8 lanes × 2 × 2.4 = 307.2 GFLOP/s, 150 GB/s.
+        let r = Roofline::for_machine(8, 8, 2.4, 150.0);
+        assert!((r.peak_gflops - 307.2).abs() < 0.1);
+        assert_eq!(r.attainable(0.1), 15.0);
+        assert_eq!(r.attainable(100.0), r.peak_gflops);
+        assert!((r.ridge() - 2.048).abs() < 0.01);
+    }
+
+    #[test]
+    fn totals_merge_cores() {
+        let mut s = sample();
+        s.cores.push(s.cores[0]);
+        assert_eq!(s.total().flops, 4_800_000);
+        assert_eq!(s.flops(), 4_800_000);
+    }
+}

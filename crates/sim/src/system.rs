@@ -1,0 +1,581 @@
+//! Multicore system driver.
+//!
+//! A [`System`] owns N cores and the shared memory hierarchy and advances
+//! them in a single global clock loop. Baseline (software) runs stream ops
+//! from kernel shards running on real threads through bounded channels —
+//! generation is functional and instantaneous in simulated time, the
+//! channel only bounds host memory. Accelerated runs instead attach one
+//! [`Accelerator`] per core and consume the host callback ops the engines
+//! produce.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+
+use crate::accel::Accelerator;
+use crate::core::{Core, CoreConfig, OpSource};
+use crate::machine::Machine;
+use crate::memsys::{MemSys, MemSysConfig};
+use crate::op::{Deps, Op, OpId, OpKind, Site};
+use crate::stats::RunStats;
+
+/// Full system configuration: core micro-architecture + memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemConfig {
+    /// Core configuration (identical cores).
+    pub core: CoreConfig,
+    /// Memory system configuration.
+    pub mem: MemSysConfig,
+}
+
+impl SystemConfig {
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.mem.cores
+    }
+}
+
+/// Batch size of the op channel: sends are amortized over this many ops.
+const OP_BATCH: usize = 4096;
+
+/// Machine implementation that streams ops to a simulated core through a
+/// bounded channel of op batches (used by kernel shard threads).
+#[derive(Debug)]
+pub struct ChannelMachine {
+    tx: SyncSender<Vec<Op>>,
+    buf: Vec<Op>,
+    next: u64,
+}
+
+impl ChannelMachine {
+    fn new(tx: SyncSender<Vec<Op>>) -> Self {
+        Self {
+            tx,
+            buf: Vec::with_capacity(OP_BATCH),
+            next: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            // A send error means the simulator side hung up; the shard
+            // just keeps generating into the void — results of aborted
+            // runs are discarded by the caller.
+            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(OP_BATCH));
+            let _ = self.tx.send(batch);
+        }
+    }
+}
+
+impl Drop for ChannelMachine {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Machine for ChannelMachine {
+    fn emit(&mut self, site: Site, kind: OpKind, deps: Deps) -> OpId {
+        self.next += 1;
+        let id = OpId(self.next);
+        self.buf.push(Op {
+            id,
+            site,
+            kind,
+            deps,
+            visible_at: 0,
+        });
+        if self.buf.len() >= OP_BATCH {
+            self.flush();
+        }
+        id
+    }
+}
+
+/// Op source backed by a kernel shard's channel.
+struct ChannelSource {
+    rx: Receiver<Vec<Op>>,
+    buf: VecDeque<Op>,
+    closed: bool,
+}
+
+impl ChannelSource {
+    fn new(rx: Receiver<Vec<Op>>) -> Self {
+        Self {
+            rx,
+            buf: VecDeque::with_capacity(2 * OP_BATCH),
+            closed: false,
+        }
+    }
+
+    /// Ensures at least one op is buffered or the stream is known closed.
+    /// Blocking is safe: op generation takes zero simulated time.
+    fn refill(&mut self) {
+        if !self.buf.is_empty() || self.closed {
+            return;
+        }
+        match self.rx.recv() {
+            Ok(batch) => {
+                self.buf.extend(batch);
+                // Opportunistically drain whatever else is ready.
+                while self.buf.len() < 4 * OP_BATCH {
+                    match self.rx.try_recv() {
+                        Ok(batch) => self.buf.extend(batch),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            self.closed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(_) => self.closed = true,
+        }
+    }
+}
+
+impl OpSource for ChannelSource {
+    fn next_visible(&mut self, _now: u64) -> Option<Op> {
+        self.refill();
+        self.buf.pop_front()
+    }
+
+    fn done(&mut self) -> bool {
+        self.refill();
+        self.closed && self.buf.is_empty()
+    }
+}
+
+/// Op source fed by an accelerator's callback stream.
+#[derive(Debug, Default)]
+struct AccelSource {
+    buf: VecDeque<Op>,
+    producer_done: bool,
+}
+
+impl OpSource for AccelSource {
+    fn next_visible(&mut self, now: u64) -> Option<Op> {
+        if self.buf.front().is_some_and(|op| op.visible_at <= now) {
+            self.buf.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn done(&mut self) -> bool {
+        self.producer_done && self.buf.is_empty()
+    }
+
+    fn next_visible_at(&self) -> Option<u64> {
+        self.buf.front().map(|op| op.visible_at)
+    }
+}
+
+/// Hard cap on simulated cycles — a runaway-model backstop, far above any
+/// legitimate run in this repository.
+pub const CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// The simulated multicore system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    mem: MemSys,
+    cores: Vec<Core>,
+}
+
+impl System {
+    /// Builds a system from `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self {
+            mem: MemSys::new(cfg.mem),
+            cores: (0..cfg.cores()).map(|i| Core::new(i, cfg.core)).collect(),
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory hierarchy (statistics access after a run).
+    pub fn mem(&self) -> &MemSys {
+        &self.mem
+    }
+
+    /// Runs one kernel shard per core; each shard generates its op stream
+    /// on its own thread. Returns the run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more shards than cores are supplied or the cycle limit is
+    /// exceeded.
+    pub fn run<F>(&mut self, shards: Vec<F>) -> RunStats
+    where
+        F: FnOnce(&mut ChannelMachine) + Send,
+    {
+        assert!(
+            shards.len() <= self.cores.len(),
+            "more shards than cores ({} > {})",
+            shards.len(),
+            self.cores.len()
+        );
+        let mut sources: Vec<ChannelSource> = Vec::new();
+        std::thread::scope(|scope| {
+            for shard in shards {
+                let (tx, rx) = sync_channel::<Vec<Op>>(16);
+                sources.push(ChannelSource::new(rx));
+                scope.spawn(move || {
+                    let mut machine = ChannelMachine::new(tx);
+                    shard(&mut machine);
+                });
+            }
+            self.clock_loop(&mut sources, &mut Vec::new());
+        });
+        self.collect_stats()
+    }
+
+    /// Runs with one accelerator per entry; core `i` consumes the callback
+    /// ops produced by `accels[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more accelerators than cores are supplied or the cycle
+    /// limit is exceeded.
+    pub fn run_accelerated(&mut self, mut accels: Vec<Box<dyn Accelerator>>) -> RunStats {
+        assert!(
+            accels.len() <= self.cores.len(),
+            "more accelerators than cores"
+        );
+        let mut sources: Vec<AccelSource> = (0..accels.len()).map(|_| AccelSource::default()).collect();
+        let mut now: u64 = 0;
+        let mut acks: Vec<u32> = Vec::new();
+        let mut scratch: Vec<Op> = Vec::new();
+        loop {
+            let mut all_done = true;
+            for (i, accel) in accels.iter_mut().enumerate() {
+                accel.tick(now, i, &mut self.mem);
+                scratch.clear();
+                accel.drain_ops(&mut scratch);
+                sources[i].buf.extend(scratch.drain(..));
+                sources[i].producer_done = accel.done();
+
+                acks.clear();
+                self.cores[i].tick(now, &mut sources[i], &mut self.mem, &mut acks);
+                for &chunk in &acks {
+                    accel.ack_chunk(chunk, now);
+                }
+                if !(sources[i].done() && self.cores[i].idle() && accel.done()) {
+                    all_done = false;
+                }
+            }
+            // Idle cores beyond the accelerator count still age.
+            for i in accels.len()..self.cores.len() {
+                acks.clear();
+                let mut empty = AccelSource {
+                    producer_done: true,
+                    ..Default::default()
+                };
+                self.cores[i].tick(now, &mut empty, &mut self.mem, &mut acks);
+            }
+            now += 1;
+            if all_done {
+                break;
+            }
+            assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+        }
+        self.finalize_cycles(now);
+        self.collect_stats()
+    }
+
+    /// Like [`System::run`], but with an Indirect Memory Prefetcher (IMP)
+    /// attached to each core (§7.3, Figure 15). The IMP observes ops as
+    /// they enter a fetch-lookahead window and prefetches trained indirect
+    /// loads into L1.
+    pub fn run_with_imp<F>(&mut self, shards: Vec<F>) -> RunStats
+    where
+        F: FnOnce(&mut ChannelMachine) + Send,
+    {
+        assert!(shards.len() <= self.cores.len(), "more shards than cores");
+        const WINDOW: usize = 256;
+        let mut sources: Vec<ChannelSource> = Vec::new();
+        let mut windows: Vec<VecDeque<Op>> = Vec::new();
+        let mut imps: Vec<crate::imp::Imp> = Vec::new();
+        std::thread::scope(|scope| {
+            for shard in shards {
+                let (tx, rx) = sync_channel::<Vec<Op>>(16);
+                sources.push(ChannelSource::new(rx));
+                windows.push(VecDeque::with_capacity(WINDOW));
+                imps.push(crate::imp::Imp::new());
+                scope.spawn(move || {
+                    let mut machine = ChannelMachine::new(tx);
+                    shard(&mut machine);
+                });
+            }
+            let mut now: u64 = 0;
+            let mut acks: Vec<u32> = Vec::new();
+            loop {
+                let mut all_done = true;
+                for (i, source) in sources.iter_mut().enumerate() {
+                    // Stage ops into the lookahead window; IMP observes
+                    // each op as it enters.
+                    while windows[i].len() < WINDOW {
+                        match source.next_visible(now) {
+                            Some(op) => {
+                                imps[i].observe(&op, i, now, &mut self.mem);
+                                windows[i].push_back(op);
+                            }
+                            None => break,
+                        }
+                    }
+                    let mut staged = WindowSource {
+                        window: &mut windows[i],
+                    };
+                    acks.clear();
+                    self.cores[i].tick(now, &mut staged, &mut self.mem, &mut acks);
+                    if !(source.done() && windows[i].is_empty() && self.cores[i].idle()) {
+                        all_done = false;
+                    }
+                }
+                now += 1;
+                if all_done {
+                    break;
+                }
+                assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+            }
+            self.finalize_cycles(now);
+        });
+        self.collect_stats()
+    }
+
+    fn clock_loop(&mut self, sources: &mut [ChannelSource], acks: &mut Vec<u32>) {
+        let mut now: u64 = 0;
+        loop {
+            let mut all_done = true;
+            for (i, source) in sources.iter_mut().enumerate() {
+                acks.clear();
+                self.cores[i].tick(now, source, &mut self.mem, acks);
+                if !(source.done() && self.cores[i].idle()) {
+                    all_done = false;
+                }
+            }
+            now += 1;
+            if all_done {
+                break;
+            }
+            assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+
+            // Idle-cycle skipping: if no core can dispatch or commit before
+            // some future cycle, jump the clock there.
+            let mut next = u64::MAX;
+            let mut can_act_now = false;
+            for (i, source) in sources.iter_mut().enumerate() {
+                let core = &self.cores[i];
+                match core.skip_hint(now) {
+                    SkipHint::Never => {
+                        if !source.done() {
+                            can_act_now = true;
+                        }
+                    }
+                    SkipHint::At(c) => next = next.min(c),
+                    SkipHint::Now => can_act_now = true,
+                }
+            }
+            if !can_act_now && next > now && next != u64::MAX {
+                // Attribute the skipped gap per core: waiting on an
+                // incomplete ROB head is a backend stall, an empty ROB is
+                // a frontend stall.
+                let delta = next - now;
+                for core in self.cores.iter_mut() {
+                    core.account_gap(delta);
+                }
+                now = next;
+            }
+        }
+        self.finalize_cycles(now);
+    }
+
+    fn finalize_cycles(&mut self, now: u64) {
+        // Equalize per-core cycle counts to the run length: cores that went
+        // idle early spent the remainder waiting on the slowest core.
+        for core in &mut self.cores {
+            let idle_tail = now.saturating_sub(core.stats.cycles);
+            core.stats.cycles = now;
+            core.stats.frontend += idle_tail;
+        }
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let dram = self.mem.dram();
+        let row_total = dram.row_hits + dram.row_misses;
+        RunStats {
+            cycles: self.cores.iter().map(|c| c.stats.cycles).max().unwrap_or(0),
+            cores: self.cores.iter().map(|c| c.stats).collect(),
+            dram_bytes: dram.bytes_moved(),
+            dram_row_hit_rate: if row_total == 0 {
+                0.0
+            } else {
+                dram.row_hits as f64 / row_total as f64
+            },
+            freq_ghz: self.cfg.core.freq_ghz,
+        }
+    }
+}
+
+/// Op source over a staged lookahead window (IMP runs).
+struct WindowSource<'a> {
+    window: &'a mut VecDeque<Op>,
+}
+
+impl OpSource for WindowSource<'_> {
+    fn next_visible(&mut self, now: u64) -> Option<Op> {
+        if self.window.front().is_some_and(|op| op.visible_at <= now) {
+            self.window.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn done(&mut self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+/// Whether a core can make progress now, later, or is fully drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipHint {
+    /// The core can dispatch or commit this cycle.
+    Now,
+    /// Nothing can happen before the given cycle.
+    At(u64),
+    /// The core is drained (no ROB entries, no blocked fetch).
+    Never,
+}
+
+impl Core {
+    /// Computes the earliest cycle at which this core can make progress,
+    /// assuming its op source has ops ready whenever fetch is unblocked.
+    pub fn skip_hint(&self, now: u64) -> SkipHint {
+        let head = self.head_complete();
+        let blocked = self.fetch_blocked();
+        match head {
+            None => {
+                if blocked > now {
+                    SkipHint::At(blocked)
+                } else {
+                    SkipHint::Never
+                }
+            }
+            Some(h) => {
+                if self.rob_full() || blocked > now {
+                    // Only commits (at head completion) or fetch unblock can
+                    // change anything.
+                    let mut t = h;
+                    if blocked > now && !self.rob_full() {
+                        t = t.min(blocked);
+                    }
+                    if t > now {
+                        SkipHint::At(t)
+                    } else {
+                        SkipHint::Now
+                    }
+                } else {
+                    SkipHint::Now
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Deps;
+
+    fn config(cores: usize) -> SystemConfig {
+        SystemConfig {
+            core: CoreConfig::neoverse_n1_like(),
+            mem: MemSysConfig::table5(cores),
+        }
+    }
+
+    #[test]
+    fn single_core_run_completes() {
+        let mut sys = System::new(config(1));
+        let stats = sys.run(vec![|m: &mut ChannelMachine| {
+            for i in 0..10_000u64 {
+                let a = m.load(Site(1), 0x10_000 + i * 8, 8, Deps::NONE);
+                m.fp_op(2, Deps::from(a));
+            }
+        }]);
+        assert_eq!(stats.total().committed, 20_000);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.flops(), 20_000);
+    }
+
+    #[test]
+    fn multicore_shares_bandwidth() {
+        // The same streaming workload on 1 vs 8 cores: 8 cores do 8× the
+        // work in less than 8× the time but more than 1× (shared DRAM).
+        let shard = |c: usize| {
+            move |m: &mut ChannelMachine| {
+                for i in 0..50_000u64 {
+                    m.load(Site(1), (c as u64 + 1) * 0x1_000_000 + i * 64, 8, Deps::NONE);
+                }
+            }
+        };
+        let mut sys1 = System::new(config(1));
+        let t1 = sys1.run(vec![shard(0)]).cycles;
+        let mut sys8 = System::new(config(8));
+        let t8 = sys8.run((0..8).map(shard).collect()).cycles;
+        assert!(t8 < t1 * 8, "parallel run must be faster ({t8} vs {t1}×8)");
+        assert!(
+            t8 as f64 > t1 as f64 * 1.2,
+            "8 streams must contend for DRAM ({t8} vs {t1})"
+        );
+    }
+
+    #[test]
+    fn stats_equalize_core_cycles() {
+        let mut sys = System::new(config(2));
+        let stats = sys.run(vec![
+            |m: &mut ChannelMachine| {
+                for _ in 0..100 {
+                    m.int_op(Deps::NONE);
+                }
+            },
+            |m: &mut ChannelMachine| {
+                for i in 0..5_000u64 {
+                    m.load(Site(1), 0x40_000_000 + i * 4096, 8, Deps::from(OpId(i)));
+                }
+            },
+        ]);
+        assert_eq!(stats.cores[0].cycles, stats.cores[1].cycles);
+        assert_eq!(stats.cycles, stats.cores[0].cycles);
+    }
+
+    #[test]
+    fn accelerated_run_with_null_accels_terminates() {
+        let mut sys = System::new(config(2));
+        let stats = sys.run_accelerated(vec![
+            Box::new(crate::accel::NullAccelerator),
+            Box::new(crate::accel::NullAccelerator),
+        ]);
+        assert_eq!(stats.total().committed, 0);
+    }
+
+    #[test]
+    fn dram_traffic_is_recorded() {
+        let mut sys = System::new(config(1));
+        let stats = sys.run(vec![|m: &mut ChannelMachine| {
+            for i in 0..10_000u64 {
+                m.load(Site(1), 0x10_000_000 + i * 64, 8, Deps::NONE);
+            }
+        }]);
+        // 10 000 distinct lines = 640 kB minimum of DRAM reads.
+        assert!(
+            stats.dram_bytes >= 10_000 * 64,
+            "bytes = {}",
+            stats.dram_bytes
+        );
+        assert!(stats.bandwidth_gbs() > 1.0);
+    }
+}

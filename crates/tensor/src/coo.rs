@@ -1,0 +1,317 @@
+use crate::{FormatError, Idx, Val};
+
+/// A sparse matrix in Coordinate (COO) format (Figure 1a of the paper).
+///
+/// Stores one `(row, col, value)` triple per non-zero, sorted row-major.
+/// COO corresponds to a stack of *singleton* levels in the level-format
+/// abstraction of §2.2.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_idxs: Vec<Idx>,
+    col_idxs: Vec<Idx>,
+    vals: Vec<Val>,
+}
+
+impl CooMatrix {
+    /// Builds a COO matrix from triplets, sorting them row-major and summing
+    /// duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] if any coordinate exceeds
+    /// the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(Idx, Idx, Val)>,
+    ) -> Result<Self, FormatError> {
+        for &(r, c, _) in &triplets {
+            if r as usize >= rows {
+                return Err(FormatError::IndexOutOfBounds {
+                    dim: 0,
+                    index: r as u64,
+                    size: rows as u64,
+                });
+            }
+            if c as usize >= cols {
+                return Err(FormatError::IndexOutOfBounds {
+                    dim: 1,
+                    index: c as u64,
+                    size: cols as u64,
+                });
+            }
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_idxs = Vec::with_capacity(triplets.len());
+        let mut col_idxs = Vec::with_capacity(triplets.len());
+        let mut vals: Vec<Val> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            if let (Some(&lr), Some(&lc)) = (row_idxs.last(), col_idxs.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("parallel arrays") += v;
+                    continue;
+                }
+            }
+            row_idxs.push(r);
+            col_idxs.push(c);
+            vals.push(v);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_idxs,
+            col_idxs,
+            vals,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row index array (sorted, may repeat).
+    pub fn row_idxs(&self) -> &[Idx] {
+        &self.row_idxs
+    }
+
+    /// Column index array.
+    pub fn col_idxs(&self) -> &[Idx] {
+        &self.col_idxs
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[Val] {
+        &self.vals
+    }
+
+    /// Iterates `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, Val)> + '_ {
+        self.row_idxs
+            .iter()
+            .zip(&self.col_idxs)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Dense `rows × cols` representation; useful for small test oracles.
+    pub fn to_dense(&self) -> Vec<Vec<Val>> {
+        let mut out = vec![vec![0.0; self.cols]; self.rows];
+        for (r, c, v) in self.iter() {
+            out[r as usize][c as usize] += v;
+        }
+        out
+    }
+}
+
+/// An order-*n* sparse tensor in Coordinate (COO) format.
+///
+/// Stores each non-zero as an n-tuple of coordinates plus a value, sorted
+/// lexicographically. This is the input format of the paper's MTTKRP and the
+/// on-disk format of the FROSTT collection the paper evaluates on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CooTensor {
+    dims: Vec<usize>,
+    /// One coordinate array per mode, all of length `nnz`.
+    idxs: Vec<Vec<Idx>>,
+    vals: Vec<Val>,
+}
+
+impl CooTensor {
+    /// Builds a COO tensor from `(coordinates, value)` entries, sorting
+    /// lexicographically and summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::RankMismatch`] if a coordinate tuple does not
+    /// match `dims.len()`, or [`FormatError::IndexOutOfBounds`] if a
+    /// coordinate exceeds the declared dimension.
+    pub fn from_entries(
+        dims: Vec<usize>,
+        mut entries: Vec<(Vec<Idx>, Val)>,
+    ) -> Result<Self, FormatError> {
+        let order = dims.len();
+        for (coord, _) in &entries {
+            if coord.len() != order {
+                return Err(FormatError::RankMismatch {
+                    expected: order,
+                    actual: coord.len(),
+                });
+            }
+            for (d, (&c, &size)) in coord.iter().zip(&dims).enumerate() {
+                if c as usize >= size {
+                    return Err(FormatError::IndexOutOfBounds {
+                        dim: d,
+                        index: c as u64,
+                        size: size as u64,
+                    });
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut idxs: Vec<Vec<Idx>> = vec![Vec::with_capacity(entries.len()); order];
+        let mut vals: Vec<Val> = Vec::with_capacity(entries.len());
+        let mut last: Option<Vec<Idx>> = None;
+        for (coord, v) in entries {
+            if last.as_deref() == Some(&coord[..]) {
+                *vals.last_mut().expect("non-empty on duplicate") += v;
+                continue;
+            }
+            for (d, &c) in coord.iter().enumerate() {
+                idxs[d].push(c);
+            }
+            vals.push(v);
+            last = Some(coord);
+        }
+        Ok(Self { dims, idxs, vals })
+    }
+
+    /// Tensor order (number of modes).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Coordinate array for mode `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.order()`.
+    pub fn mode_idxs(&self, d: usize) -> &[Idx] {
+        &self.idxs[d]
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[Val] {
+        &self.vals
+    }
+
+    /// Coordinates of the `p`-th stored non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.nnz()`.
+    pub fn coord(&self, p: usize) -> Vec<Idx> {
+        self.idxs.iter().map(|m| m[p]).collect()
+    }
+
+    /// Iterates `(coordinates, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<Idx>, Val)> + '_ {
+        (0..self.nnz()).map(move |p| (self.coord(p), self.vals[p]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example matrix of Figure 1 of the paper:
+    /// row 0: a@0, b@2 ; row 2: c@1 ; row 3: d@0, e@3
+    pub(crate) fn figure1() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 3, 5.0),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn triplets_sorted_and_deduped() {
+        let m = CooMatrix::from_triplets(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)])
+            .expect("valid");
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_idxs(), &[0, 1]);
+        assert_eq!(m.vals(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = CooMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            FormatError::IndexOutOfBounds {
+                dim: 0,
+                index: 2,
+                size: 2
+            }
+        );
+    }
+
+    #[test]
+    fn figure1_layout_matches_paper() {
+        let m = figure1();
+        assert_eq!(m.row_idxs(), &[0, 0, 2, 3, 3]);
+        assert_eq!(m.col_idxs(), &[0, 2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = figure1();
+        let d = m.to_dense();
+        assert_eq!(d[0][2], 2.0);
+        assert_eq!(d[1], vec![0.0; 4]);
+        assert_eq!(d[3][3], 5.0);
+    }
+
+    #[test]
+    fn tensor_sorted_lexicographically() {
+        let t = CooTensor::from_entries(
+            vec![2, 2, 2],
+            vec![
+                (vec![1, 0, 0], 1.0),
+                (vec![0, 1, 1], 2.0),
+                (vec![0, 0, 1], 3.0),
+            ],
+        )
+        .expect("valid");
+        assert_eq!(t.coord(0), vec![0, 0, 1]);
+        assert_eq!(t.coord(1), vec![0, 1, 1]);
+        assert_eq!(t.coord(2), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn tensor_duplicates_summed() {
+        let t = CooTensor::from_entries(
+            vec![2, 2],
+            vec![(vec![1, 1], 1.0), (vec![1, 1], 4.0)],
+        )
+        .expect("valid");
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.vals(), &[5.0]);
+    }
+
+    #[test]
+    fn tensor_rank_mismatch_rejected() {
+        let err =
+            CooTensor::from_entries(vec![2, 2], vec![(vec![0], 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::RankMismatch { .. }));
+    }
+}

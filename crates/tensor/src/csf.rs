@@ -1,0 +1,285 @@
+use crate::{CooTensor, Idx, Val};
+
+/// A sparse tensor in Compressed Sparse Fiber (CSF) format (Smith & Karypis).
+///
+/// CSF generalizes DCSR to arbitrary order: every mode is a *compressed*
+/// level. Level `l` stores the distinct coordinates (`idxs(l)`) of that mode
+/// under each parent node, and `ptrs(l)` delimits each node's children in
+/// level `l + 1`. The last level's positions are parallel to the value
+/// array. The paper's SpTC, SpTTV, and SpTTM kernels consume CSF inputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsfTensor {
+    dims: Vec<usize>,
+    /// `ptrs[l]` delimits children of level-`l` nodes in level `l+1`;
+    /// `ptrs` has `order - 1` entries (the leaf level has no children).
+    ptrs: Vec<Vec<Idx>>,
+    /// `idxs[l]` holds the coordinates of level-`l` nodes; `order` entries.
+    idxs: Vec<Vec<Idx>>,
+    vals: Vec<Val>,
+}
+
+impl CsfTensor {
+    /// Builds a CSF tensor from a (sorted, deduplicated) COO tensor.
+    pub fn from_coo(coo: &CooTensor) -> Self {
+        let order = coo.order();
+        let nnz = coo.nnz();
+        let mut idxs: Vec<Vec<Idx>> = vec![Vec::new(); order];
+        let mut ptrs: Vec<Vec<Idx>> = vec![vec![0]; order.saturating_sub(1)];
+        if order == 0 || nnz == 0 {
+            return Self {
+                dims: coo.dims().to_vec(),
+                ptrs,
+                idxs,
+                vals: Vec::new(),
+            };
+        }
+        // Walk the sorted nnzs once; start a new node at level l whenever the
+        // coordinate prefix up to l changes.
+        for p in 0..nnz {
+            let changed_at = if p == 0 {
+                0
+            } else {
+                let mut l = order;
+                for d in 0..order {
+                    if coo.mode_idxs(d)[p] != coo.mode_idxs(d)[p - 1] {
+                        l = d;
+                        break;
+                    }
+                }
+                l
+            };
+            for l in changed_at..order {
+                idxs[l].push(coo.mode_idxs(l)[p]);
+                if l + 1 < order {
+                    // Opening a node at level l also opens its child list.
+                    ptrs[l].push(idxs[l + 1].len() as Idx);
+                }
+            }
+            // Update the terminal child counts for all open ancestors.
+            for l in 0..order - 1 {
+                let last = ptrs[l].len() - 1;
+                ptrs[l][last] = idxs[l + 1].len() as Idx;
+            }
+        }
+        Self {
+            dims: coo.dims().to_vec(),
+            ptrs,
+            idxs,
+            vals: coo.vals().to_vec(),
+        }
+    }
+
+    /// Tensor order (number of modes).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Coordinates of level-`l` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order()`.
+    pub fn idxs(&self, l: usize) -> &[Idx] {
+        &self.idxs[l]
+    }
+
+    /// Child pointers of level-`l` nodes (`l < order - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order() - 1`.
+    pub fn ptrs(&self, l: usize) -> &[Idx] {
+        &self.ptrs[l]
+    }
+
+    /// Value array, parallel to the leaf level's `idxs`.
+    pub fn vals(&self) -> &[Val] {
+        &self.vals
+    }
+
+    /// Number of nodes at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order()`.
+    pub fn num_nodes(&self, l: usize) -> usize {
+        self.idxs[l].len()
+    }
+
+    /// Iterates the children of node `node` at level `l`.
+    ///
+    /// Yields `(child_position, child_coordinate)` pairs; for leaf-level
+    /// parents the child position indexes [`CsfTensor::vals`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order() - 1` or `node` is out of bounds.
+    pub fn children(&self, l: usize, node: usize) -> CsfNodeIter<'_> {
+        let beg = self.ptrs[l][node] as usize;
+        let end = self.ptrs[l][node + 1] as usize;
+        CsfNodeIter {
+            idxs: &self.idxs[l + 1][beg..end],
+            base: beg,
+            pos: 0,
+        }
+    }
+
+    /// `(start, end)` child positions of node `node` at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.order() - 1` or `node` is out of bounds.
+    pub fn child_range(&self, l: usize, node: usize) -> (usize, usize) {
+        (self.ptrs[l][node] as usize, self.ptrs[l][node + 1] as usize)
+    }
+
+    /// Expands back to COO (for correctness tests).
+    pub fn to_coo(&self) -> CooTensor {
+        let order = self.order();
+        let mut entries = Vec::with_capacity(self.nnz());
+        if order == 0 || self.nnz() == 0 {
+            return CooTensor::from_entries(self.dims.clone(), entries).expect("empty is valid");
+        }
+        // Depth-first walk reconstructing full coordinates.
+        let mut stack: Vec<(usize, usize, Vec<Idx>)> = (0..self.num_nodes(0))
+            .rev()
+            .map(|n| (0, n, vec![self.idxs[0][n]]))
+            .collect();
+        while let Some((l, node, coord)) = stack.pop() {
+            if l == order - 1 {
+                entries.push((coord, self.vals[node]));
+            } else {
+                let (beg, end) = self.child_range(l, node);
+                for child in (beg..end).rev() {
+                    let mut c = coord.clone();
+                    c.push(self.idxs[l + 1][child]);
+                    stack.push((l + 1, child, c));
+                }
+            }
+        }
+        CooTensor::from_entries(self.dims.clone(), entries).expect("CSF invariants hold")
+    }
+
+    /// Total storage in index words across all levels.
+    pub fn index_words(&self) -> usize {
+        self.ptrs.iter().map(Vec::len).sum::<usize>() + self.idxs.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Iterator over `(position, coordinate)` pairs of a CSF node's children.
+///
+/// Produced by [`CsfTensor::children`].
+#[derive(Debug, Clone)]
+pub struct CsfNodeIter<'a> {
+    idxs: &'a [Idx],
+    base: usize,
+    pos: usize,
+}
+
+impl Iterator for CsfNodeIter<'_> {
+    type Item = (usize, Idx);
+
+    fn next(&mut self) -> Option<(usize, Idx)> {
+        if self.pos < self.idxs.len() {
+            let item = (self.base + self.pos, self.idxs[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.idxs.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CsfNodeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tensor() -> CooTensor {
+        CooTensor::from_entries(
+            vec![3, 3, 3],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 0, 2], 2.0),
+                (vec![0, 2, 1], 3.0),
+                (vec![2, 1, 0], 4.0),
+                (vec![2, 1, 2], 5.0),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn structure_matches_hand_computation() {
+        let csf = CsfTensor::from_coo(&small_tensor());
+        // Level 0: distinct i coordinates {0, 2}
+        assert_eq!(csf.idxs(0), &[0, 2]);
+        // Node i=0 has j children {0, 2}; node i=2 has j child {1}
+        assert_eq!(csf.ptrs(0), &[0, 2, 3]);
+        assert_eq!(csf.idxs(1), &[0, 2, 1]);
+        // j nodes have k children: (0,0)->{0,2}, (0,2)->{1}, (2,1)->{0,2}
+        assert_eq!(csf.ptrs(1), &[0, 2, 3, 5]);
+        assert_eq!(csf.idxs(2), &[0, 2, 1, 0, 2]);
+        assert_eq!(csf.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let coo = small_tensor();
+        let back = CsfTensor::from_coo(&coo).to_coo();
+        assert_eq!(coo, back);
+    }
+
+    #[test]
+    fn children_iteration() {
+        let csf = CsfTensor::from_coo(&small_tensor());
+        let kids: Vec<_> = csf.children(0, 0).collect();
+        assert_eq!(kids, vec![(0, 0), (1, 2)]);
+        let leaf: Vec<_> = csf.children(1, 2).collect();
+        assert_eq!(leaf, vec![(3, 0), (4, 2)]);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let coo = CooTensor::from_entries(vec![2, 2], vec![]).expect("valid");
+        let csf = CsfTensor::from_coo(&coo);
+        assert_eq!(csf.nnz(), 0);
+        assert_eq!(csf.num_nodes(0), 0);
+        assert_eq!(csf.to_coo(), coo);
+    }
+
+    #[test]
+    fn order_two_matches_dcsr_shape() {
+        // For matrices, CSF level counts must equal DCSR's stored rows.
+        let coo2 = CooTensor::from_entries(
+            vec![4, 4],
+            vec![
+                (vec![0, 0], 1.0),
+                (vec![0, 2], 2.0),
+                (vec![2, 1], 3.0),
+                (vec![3, 0], 4.0),
+                (vec![3, 3], 5.0),
+            ],
+        )
+        .expect("valid");
+        let csf = CsfTensor::from_coo(&coo2);
+        assert_eq!(csf.idxs(0), &[0, 2, 3]);
+        assert_eq!(csf.ptrs(0), &[0, 2, 3, 5]);
+    }
+}

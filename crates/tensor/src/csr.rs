@@ -1,0 +1,336 @@
+use crate::{CooMatrix, FormatError, Idx, Val};
+
+/// A sparse matrix in Compressed Sparse Row (CSR) format (Figure 1b).
+///
+/// `row_ptrs[i]..row_ptrs[i+1]` delimits row `i`'s slice of the parallel
+/// `col_idxs`/`vals` arrays. In the level-format abstraction CSR is a
+/// *dense* level (rows) over a *compressed* level (columns).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptrs: Vec<Idx>,
+    col_idxs: Vec<Idx>,
+    vals: Vec<Val>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix directly from its constituent arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row_ptrs` has the wrong length or is not
+    /// monotonically non-decreasing, if the index/value arrays mismatch, or
+    /// if any column index is out of bounds or out of order within a row.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptrs: Vec<Idx>,
+        col_idxs: Vec<Idx>,
+        vals: Vec<Val>,
+    ) -> Result<Self, FormatError> {
+        if row_ptrs.len() != rows + 1 {
+            return Err(FormatError::LengthMismatch {
+                what: "row_ptrs",
+                expected: rows + 1,
+                actual: row_ptrs.len(),
+            });
+        }
+        if col_idxs.len() != vals.len() {
+            return Err(FormatError::LengthMismatch {
+                what: "col_idxs vs vals",
+                expected: vals.len(),
+                actual: col_idxs.len(),
+            });
+        }
+        if *row_ptrs.last().expect("rows+1 > 0") as usize != vals.len() {
+            return Err(FormatError::LengthMismatch {
+                what: "row_ptrs terminal vs nnz",
+                expected: vals.len(),
+                actual: *row_ptrs.last().expect("rows+1 > 0") as usize,
+            });
+        }
+        for w in row_ptrs.windows(2) {
+            if w[0] > w[1] {
+                return Err(FormatError::Unsorted { position: 0 });
+            }
+        }
+        for i in 0..rows {
+            let beg = row_ptrs[i] as usize;
+            let end = row_ptrs[i + 1] as usize;
+            for p in beg..end {
+                if col_idxs[p] as usize >= cols {
+                    return Err(FormatError::IndexOutOfBounds {
+                        dim: 1,
+                        index: col_idxs[p] as u64,
+                        size: cols as u64,
+                    });
+                }
+                if p > beg && col_idxs[p - 1] >= col_idxs[p] {
+                    return Err(FormatError::Unsorted { position: p });
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptrs,
+            col_idxs,
+            vals,
+        })
+    }
+
+    /// Converts a (sorted, deduplicated) COO matrix to CSR.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let mut row_ptrs = vec![0 as Idx; rows + 1];
+        for &r in coo.row_idxs() {
+            row_ptrs[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptrs[i + 1] += row_ptrs[i];
+        }
+        Self {
+            rows,
+            cols: coo.cols(),
+            row_ptrs,
+            col_idxs: coo.col_idxs().to_vec(),
+            vals: coo.vals().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    pub fn row_ptrs(&self) -> &[Idx] {
+        &self.row_ptrs
+    }
+
+    /// Column index array.
+    pub fn col_idxs(&self) -> &[Idx] {
+        &self.col_idxs
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[Val] {
+        &self.vals
+    }
+
+    /// Iterates `(col, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> CsrRowIter<'_> {
+        assert!(r < self.rows, "row out of bounds");
+        let beg = self.row_ptrs[r] as usize;
+        let end = self.row_ptrs[r + 1] as usize;
+        CsrRowIter {
+            cols: &self.col_idxs[beg..end],
+            vals: &self.vals[beg..end],
+            pos: 0,
+        }
+    }
+
+    /// `(start, end)` positions of row `r` in the nnz arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        assert!(r < self.rows, "row out of bounds");
+        (self.row_ptrs[r] as usize, self.row_ptrs[r + 1] as usize)
+    }
+
+    /// Transposes the matrix (CSR of the transpose == CSC of self).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut ptrs = vec![0 as Idx; self.cols + 1];
+        for &c in &self.col_idxs {
+            ptrs[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            ptrs[i + 1] += ptrs[i];
+        }
+        let mut fill = ptrs.clone();
+        let mut cols = vec![0 as Idx; self.nnz()];
+        let mut vals = vec![0.0 as Val; self.nnz()];
+        for r in 0..self.rows {
+            let (beg, end) = self.row_range(r);
+            for p in beg..end {
+                let c = self.col_idxs[p] as usize;
+                let q = fill[c] as usize;
+                cols[q] = r as Idx;
+                vals[q] = self.vals[p];
+                fill[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptrs: ptrs,
+            col_idxs: cols,
+            vals,
+        }
+    }
+
+    /// Converts to COO triplet form.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                triplets.push((r as Idx, c, v));
+            }
+        }
+        CooMatrix::from_triplets(self.rows, self.cols, triplets).expect("CSR invariants hold")
+    }
+
+    /// Lower triangle (strictly below the diagonal); used by TriangleCount.
+    pub fn lower_triangle(&self) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if (c as usize) < r {
+                    triplets.push((r as Idx, c, v));
+                }
+            }
+        }
+        let coo =
+            CooMatrix::from_triplets(self.rows, self.cols, triplets).expect("subset of valid");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Number of non-empty rows (DCSR conversion threshold of §2.2).
+    pub fn nonempty_rows(&self) -> usize {
+        (0..self.rows)
+            .filter(|&r| self.row_ptrs[r] != self.row_ptrs[r + 1])
+            .count()
+    }
+}
+
+/// Iterator over the `(col, value)` pairs of a CSR row.
+///
+/// Produced by [`CsrMatrix::row`].
+#[derive(Debug, Clone)]
+pub struct CsrRowIter<'a> {
+    cols: &'a [Idx],
+    vals: &'a [Val],
+    pos: usize,
+}
+
+impl Iterator for CsrRowIter<'_> {
+    type Item = (Idx, Val);
+
+    fn next(&mut self) -> Option<(Idx, Val)> {
+        if self.pos < self.cols.len() {
+            let item = (self.cols[self.pos], self.vals[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.cols.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CsrRowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_csr() -> CsrMatrix {
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 3, 5.0),
+            ],
+        )
+        .expect("valid");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn figure1_row_ptrs_match_paper() {
+        // Figure 1b: row_ptrs = [0, 2, 2, 3, 5]
+        let m = figure1_csr();
+        assert_eq!(m.row_ptrs(), &[0, 2, 2, 3, 5]);
+        assert_eq!(m.col_idxs(), &[0, 2, 1, 0, 3]);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let m = figure1_csr();
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(1).len(), 0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(
+            CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 2.0]).is_err(),
+            "unsorted columns within a row must be rejected"
+        );
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![1], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = figure1_csr();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let m = figure1_csr();
+        let t = m.transpose();
+        let row0: Vec<_> = t.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = figure1_csr();
+        assert_eq!(CsrMatrix::from_coo(&m.to_coo()), m);
+    }
+
+    #[test]
+    fn lower_triangle_strict() {
+        let m = figure1_csr();
+        let l = m.lower_triangle();
+        assert_eq!(l.nnz(), 2); // (2,1) and (3,0)
+        assert_eq!(l.row(3).next(), Some((0, 4.0)));
+    }
+
+    #[test]
+    fn nonempty_rows_counts() {
+        let m = figure1_csr();
+        assert_eq!(m.nonempty_rows(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+use crate::{CooMatrix, CsrMatrix, Idx, Val};
+
+/// A sparse matrix in Doubly-Compressed Sparse Row (DCSR) format (Figure 1c).
+///
+/// DCSR compresses away empty rows: `row_idxs` stores the indexes of the
+/// non-empty rows and `row_ptrs` has one entry per *stored* row (plus a
+/// terminator). In the level-format abstraction DCSR is two stacked
+/// *compressed* levels. The paper's SpKAdd kernel operates on DCSR inputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DcsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_idxs: Vec<Idx>,
+    row_ptrs: Vec<Idx>,
+    col_idxs: Vec<Idx>,
+    vals: Vec<Val>,
+}
+
+impl DcsrMatrix {
+    /// Converts a CSR matrix to DCSR, dropping empty rows from the pointer
+    /// structure.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut row_idxs = Vec::new();
+        let mut row_ptrs = vec![0 as Idx];
+        for r in 0..csr.rows() {
+            let (beg, end) = csr.row_range(r);
+            if beg != end {
+                row_idxs.push(r as Idx);
+                row_ptrs.push(end as Idx);
+            }
+        }
+        Self {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            row_idxs,
+            row_ptrs,
+            col_idxs: csr.col_idxs().to_vec(),
+            vals: csr.vals().to_vec(),
+        }
+    }
+
+    /// Converts a COO matrix to DCSR.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        Self::from_csr(&CsrMatrix::from_coo(coo))
+    }
+
+    /// Logical number of rows (including empty ones).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of non-empty (stored) rows.
+    pub fn num_stored_rows(&self) -> usize {
+        self.row_idxs.len()
+    }
+
+    /// Indexes of the non-empty rows, sorted ascending.
+    pub fn row_idxs(&self) -> &[Idx] {
+        &self.row_idxs
+    }
+
+    /// Row pointer array over stored rows (`num_stored_rows + 1` entries).
+    pub fn row_ptrs(&self) -> &[Idx] {
+        &self.row_ptrs
+    }
+
+    /// Column index array.
+    pub fn col_idxs(&self) -> &[Idx] {
+        &self.col_idxs
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[Val] {
+        &self.vals
+    }
+
+    /// Iterates `(logical_row, col, value)` over the `s`-th stored row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.num_stored_rows()`.
+    pub fn stored_row(&self, s: usize) -> (Idx, &[Idx], &[Val]) {
+        assert!(s < self.num_stored_rows(), "stored row out of bounds");
+        let beg = self.row_ptrs[s] as usize;
+        let end = self.row_ptrs[s + 1] as usize;
+        (
+            self.row_idxs[s],
+            &self.col_idxs[beg..end],
+            &self.vals[beg..end],
+        )
+    }
+
+    /// Expands back to CSR (re-inserting empty rows).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for s in 0..self.num_stored_rows() {
+            let (r, cols, vals) = self.stored_row(s);
+            for (c, v) in cols.iter().zip(vals) {
+                triplets.push((r, *c, *v));
+            }
+        }
+        let coo = CooMatrix::from_triplets(self.rows, self.cols, triplets)
+            .expect("DCSR invariants hold");
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Storage in index words, for the `#rows > 2 × #nonempty` rule of §2.2.
+    pub fn index_words(&self) -> usize {
+        self.row_idxs.len() + self.row_ptrs.len() + self.col_idxs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_dcsr() -> DcsrMatrix {
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 3, 5.0),
+            ],
+        )
+        .expect("valid");
+        DcsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn figure1_compresses_empty_row() {
+        // Figure 1c: row_idxs = [0,2,3], row_ptrs = [0,2,3,5]
+        let m = figure1_dcsr();
+        assert_eq!(m.row_idxs(), &[0, 2, 3]);
+        assert_eq!(m.row_ptrs(), &[0, 2, 3, 5]);
+        assert_eq!(m.num_stored_rows(), 3);
+    }
+
+    #[test]
+    fn stored_row_access() {
+        let m = figure1_dcsr();
+        let (r, cols, vals) = m.stored_row(1);
+        assert_eq!(r, 2);
+        assert_eq!(cols, &[1]);
+        assert_eq!(vals, &[3.0]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = figure1_dcsr();
+        let back = DcsrMatrix::from_csr(&m.to_csr());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::from_triplets(3, 3, vec![]).expect("valid");
+        let m = DcsrMatrix::from_coo(&coo);
+        assert_eq!(m.num_stored_rows(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_ptrs(), &[0]);
+    }
+}

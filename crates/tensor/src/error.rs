@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or converting a tensor format from
+/// inconsistent input data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// A coordinate lies outside the declared tensor dimensions.
+    IndexOutOfBounds {
+        /// Dimension (mode) in which the violation occurred.
+        dim: usize,
+        /// Offending index value.
+        index: u64,
+        /// Size of that dimension.
+        size: u64,
+    },
+    /// Parallel arrays (e.g. indices and values) have mismatched lengths.
+    LengthMismatch {
+        /// What the arrays describe.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Coordinates were required to be sorted (and unique) but are not.
+    Unsorted {
+        /// Position of the first out-of-order element.
+        position: usize,
+    },
+    /// The rank of a coordinate tuple does not match the tensor order.
+    RankMismatch {
+        /// Expected tensor order.
+        expected: usize,
+        /// Provided coordinate rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { dim, index, size } => write!(
+                f,
+                "index {index} out of bounds for dimension {dim} of size {size}"
+            ),
+            FormatError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch for {what}: expected {expected}, got {actual}"
+            ),
+            FormatError::Unsorted { position } => {
+                write!(f, "coordinates not sorted at position {position}")
+            }
+            FormatError::RankMismatch { expected, actual } => {
+                write!(f, "coordinate rank {actual} does not match tensor order {expected}")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = FormatError::IndexOutOfBounds {
+            dim: 1,
+            index: 9,
+            size: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("index 9"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

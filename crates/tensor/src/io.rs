@@ -1,0 +1,314 @@
+//! Plain-text tensor I/O: Matrix Market (`.mtx`) matrices and
+//! FROSTT-style (`.tns`) coordinate tensors.
+//!
+//! The paper evaluates on SuiteSparse matrices (distributed as Matrix
+//! Market files) and FROSTT tensors (distributed as `.tns` coordinate
+//! lists). This repository substitutes synthetic generators for the
+//! evaluation itself (see `DESIGN.md`), but downstream users can load the
+//! real files with these readers and run any workload on them.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{CooMatrix, CooTensor, FormatError, Idx, Val};
+
+/// Error produced while parsing a tensor file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Structurally invalid tensor data.
+    Format(FormatError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<FormatError> for IoError {
+    fn from(e: FormatError) -> Self {
+        IoError::Format(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a Matrix Market `coordinate` matrix (`%%MatrixMarket matrix
+/// coordinate real|integer|pattern general|symmetric`).
+///
+/// Pattern entries get value 1.0; symmetric matrices are expanded.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed headers, counts, or entries.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, IoError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))
+        .and_then(|(n, l)| Ok((n, l?)))?;
+    let head = header.to_ascii_lowercase();
+    if !head.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(parse_err(1, "expected '%%MatrixMarket matrix coordinate …'"));
+    }
+    let pattern = head.contains("pattern");
+    let symmetric = head.contains("symmetric");
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for item in lines.by_ref() {
+        let (n, line) = item;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((n + 1, trimmed.to_owned()));
+        break;
+    }
+    let (size_ln, size_line) = size_line.ok_or_else(|| parse_err(1, "missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err(size_ln, "bad row count"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err(size_ln, "bad column count"))?;
+    let nnz: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err(size_ln, "bad nnz count"))?;
+
+    let mut triplets = Vec::with_capacity(if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for item in lines {
+        let (n, line) = item;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(n + 1, "bad row index"))?;
+        let c: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(n + 1, "bad column index"))?;
+        let v: Val = if pattern {
+            1.0
+        } else {
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(n + 1, "bad value"))?
+        };
+        if r == 0 || c == 0 {
+            return Err(parse_err(n + 1, "matrix market indices are 1-based"));
+        }
+        triplets.push(((r - 1) as Idx, (c - 1) as Idx, v));
+        if symmetric && r != c {
+            triplets.push(((c - 1) as Idx, (r - 1) as Idx, v));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            0,
+            format!("entry count mismatch: header says {nnz}, file has {seen}"),
+        ));
+    }
+    Ok(CooMatrix::from_triplets(rows, cols, triplets)?)
+}
+
+/// Writes a matrix as Matrix Market `coordinate real general`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_matrix_market<W: Write>(mut writer: W, m: &CooMatrix) -> Result<(), IoError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "%%MatrixMarket matrix coordinate real general");
+    let _ = writeln!(out, "{} {} {}", m.rows(), m.cols(), m.nnz());
+    for (r, c, v) in m.iter() {
+        let _ = writeln!(out, "{} {} {v}", r + 1, c + 1);
+    }
+    writer.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a FROSTT-style `.tns` coordinate tensor: one line per non-zero,
+/// `i1 i2 … iN value`, 1-based indices, `#` comments.
+///
+/// Dimensions are inferred as the per-mode maxima.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on ragged or malformed lines.
+pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, IoError> {
+    let mut entries: Vec<(Vec<Idx>, Val)> = Vec::new();
+    let mut order: Option<usize> = None;
+    for (n, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(parse_err(n + 1, "need at least one index and a value"));
+        }
+        let this_order = toks.len() - 1;
+        match order {
+            None => order = Some(this_order),
+            Some(o) if o != this_order => {
+                return Err(parse_err(n + 1, format!("ragged entry: {this_order} vs {o} modes")))
+            }
+            _ => {}
+        }
+        let mut coord = Vec::with_capacity(this_order);
+        for t in &toks[..this_order] {
+            let i: usize = t
+                .parse()
+                .map_err(|_| parse_err(n + 1, format!("bad index '{t}'")))?;
+            if i == 0 {
+                return Err(parse_err(n + 1, ".tns indices are 1-based"));
+            }
+            coord.push((i - 1) as Idx);
+        }
+        let v: Val = toks[this_order]
+            .parse()
+            .map_err(|_| parse_err(n + 1, format!("bad value '{}'", toks[this_order])))?;
+        entries.push((coord, v));
+    }
+    let order = order.unwrap_or(0);
+    let mut dims = vec![1usize; order];
+    for (c, _) in &entries {
+        for (d, &i) in c.iter().enumerate() {
+            dims[d] = dims[d].max(i as usize + 1);
+        }
+    }
+    Ok(CooTensor::from_entries(dims, entries)?)
+}
+
+/// Writes a tensor in FROSTT `.tns` format (1-based indices).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_tns<W: Write>(mut writer: W, t: &CooTensor) -> Result<(), IoError> {
+    let mut out = String::new();
+    for (coord, v) in t.iter() {
+        for c in &coord {
+            let _ = write!(out, "{} ", c + 1);
+        }
+        let _ = writeln!(out, "{v}");
+    }
+    writer.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let m = crate::gen::uniform(32, 24, 3, 5);
+        let coo = m.to_coo();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).expect("write");
+        let back = read_matrix_market(&buf[..]).expect("read");
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n% c\n3 3 2\n2 1 5.0\n3 3 7.0\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.nnz(), 3); // (1,0), (0,1), (2,2)
+        let d = m.to_dense();
+        assert_eq!(d[0][1], 5.0);
+        assert_eq!(d[1][0], 5.0);
+        assert_eq!(d[2][2], 7.0);
+    }
+
+    #[test]
+    fn matrix_market_pattern_defaults_to_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let m = read_matrix_market(text.as_bytes()).expect("read");
+        assert_eq!(m.vals(), &[1.0]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_header() {
+        let text = "%%MatrixMarket matrix array real general\n2 2 0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_detects_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn tns_roundtrip() {
+        let t = crate::gen::random_tensor(&[8, 6, 4], 32, 7);
+        let mut buf = Vec::new();
+        write_tns(&mut buf, &t).expect("write");
+        let back = read_tns(&buf[..]).expect("read");
+        assert_eq!(back.nnz(), t.nnz());
+        assert_eq!(back.vals(), t.vals());
+        // Dims are inferred as maxima, so they may shrink but never grow.
+        for (a, b) in back.dims().iter().zip(t.dims()) {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn tns_rejects_ragged_lines() {
+        let text = "1 2 3 1.0\n1 2 1.0\n";
+        assert!(read_tns(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tns_skips_comments() {
+        let text = "# a comment\n1 1 2.5\n2 2 3.5\n";
+        let t = read_tns(text.as_bytes()).expect("read");
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.dims(), &[2, 2]);
+    }
+}

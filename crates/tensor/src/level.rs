@@ -1,0 +1,199 @@
+//! The hierarchical *level format* abstraction of Chou et al. (§2.2).
+//!
+//! Every tensor compression format is a stack of per-dimension level
+//! formats: CSR = dense ∘ compressed, DCSR = compressed ∘ compressed,
+//! COO = singleton^n, CSF = compressed^n. The TMU's traversal primitives
+//! (Table 1) are exactly the level functions of §2.3, so this module is the
+//! vocabulary used to prove the engine *tensor-format complete*: any stack
+//! of these levels can be traversed by composing TMU layers.
+
+use crate::{CooMatrix, CsfTensor, CsrMatrix, DcsrMatrix};
+
+/// A single level of a hierarchical tensor format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LevelFormat {
+    /// All `size` coordinates are materialized; traversed with a plain
+    /// counted loop (TMU `DnsFbrT`).
+    Dense {
+        /// Dimension size.
+        size: usize,
+    },
+    /// Only non-empty coordinates are stored behind a pointer pair;
+    /// traversed with a pointer-delimited loop (TMU `RngFbrT`).
+    Compressed,
+    /// One coordinate per parent position, no pointer structure (COO
+    /// levels); traversed alongside the parent (TMU `DnsFbrT` over
+    /// positions + a `mem` stream per singleton level).
+    Singleton,
+}
+
+impl LevelFormat {
+    /// Whether traversing this level needs a data-dependent loop bound.
+    pub fn is_data_dependent(self) -> bool {
+        matches!(self, LevelFormat::Compressed)
+    }
+}
+
+/// A complete format: one level per tensor dimension, root first.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FormatDescriptor {
+    levels: Vec<LevelFormat>,
+}
+
+impl FormatDescriptor {
+    /// Builds a descriptor from a level stack.
+    pub fn new(levels: Vec<LevelFormat>) -> Self {
+        Self { levels }
+    }
+
+    /// The level stack, root first.
+    pub fn levels(&self) -> &[LevelFormat] {
+        &self.levels
+    }
+
+    /// Tensor order described by this format.
+    pub fn order(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Descriptor for CSR: dense rows over compressed columns.
+    pub fn csr(rows: usize) -> Self {
+        Self::new(vec![LevelFormat::Dense { size: rows }, LevelFormat::Compressed])
+    }
+
+    /// Descriptor for DCSR: both dimensions compressed.
+    pub fn dcsr() -> Self {
+        Self::new(vec![LevelFormat::Compressed, LevelFormat::Compressed])
+    }
+
+    /// Descriptor for order-`n` COO: all singleton levels.
+    pub fn coo(order: usize) -> Self {
+        Self::new(vec![LevelFormat::Singleton; order])
+    }
+
+    /// Descriptor for order-`n` CSF: all compressed levels.
+    pub fn csf(order: usize) -> Self {
+        Self::new(vec![LevelFormat::Compressed; order])
+    }
+
+    /// Descriptor for a fully dense tensor.
+    pub fn dense(dims: &[usize]) -> Self {
+        Self::new(dims.iter().map(|&size| LevelFormat::Dense { size }).collect())
+    }
+
+    /// Number of levels whose traversal has data-dependent control flow —
+    /// the property that generates the branch mispredictions of §3.
+    pub fn data_dependent_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_data_dependent()).count()
+    }
+
+    /// Index-array words needed to store `nnz` non-zeros with `per_level`
+    /// node counts, per the storage model of §2.2.
+    ///
+    /// `node_counts[l]` is the number of stored nodes at level `l`
+    /// (e.g. non-empty rows at a compressed level). Dense levels cost
+    /// nothing; compressed levels cost one pointer per node plus one index
+    /// per child; singleton levels cost one index per non-zero.
+    pub fn index_words(&self, node_counts: &[usize], nnz: usize) -> usize {
+        let mut words = 0usize;
+        for (l, level) in self.levels.iter().enumerate() {
+            // Number of parent positions this level hangs off.
+            let parents = if l == 0 {
+                1
+            } else {
+                node_counts.get(l - 1).copied().unwrap_or(nnz)
+            };
+            match level {
+                LevelFormat::Dense { .. } => {}
+                LevelFormat::Compressed => {
+                    // ptrs (one per parent + 1) + idxs (one per own node).
+                    words += parents + 1 + node_counts.get(l).copied().unwrap_or(nnz);
+                }
+                LevelFormat::Singleton => {
+                    words += nnz;
+                }
+            }
+        }
+        words
+    }
+}
+
+/// Measured storage statistics of a concrete matrix under each format,
+/// supporting the format-selection rules of §2.2 (`CSR` beats `COO` when
+/// `nnz > rows + 1`; `DCSR` beats `CSR` when `rows > 2 × nonempty`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MatrixStorageReport {
+    /// Index words used by COO.
+    pub coo_words: usize,
+    /// Index words used by CSR.
+    pub csr_words: usize,
+    /// Index words used by DCSR.
+    pub dcsr_words: usize,
+}
+
+impl MatrixStorageReport {
+    /// Measures a matrix (given as COO) under all three matrix formats.
+    pub fn measure(coo: &CooMatrix) -> Self {
+        let csr = CsrMatrix::from_coo(coo);
+        let dcsr = DcsrMatrix::from_csr(&csr);
+        Self {
+            coo_words: 2 * coo.nnz(),
+            csr_words: csr.row_ptrs().len() + csr.col_idxs().len(),
+            dcsr_words: dcsr.index_words(),
+        }
+    }
+}
+
+/// Verifies that a [`CsfTensor`]'s stored structure matches the `csf`
+/// descriptor's storage model (used in property tests).
+pub fn csf_node_counts(t: &CsfTensor) -> Vec<usize> {
+    (0..t.order()).map(|l| t.num_nodes(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn descriptors_have_expected_shapes() {
+        assert_eq!(FormatDescriptor::csr(10).order(), 2);
+        assert_eq!(FormatDescriptor::coo(3).order(), 3);
+        assert_eq!(FormatDescriptor::csf(4).data_dependent_levels(), 4);
+        assert_eq!(FormatDescriptor::csr(10).data_dependent_levels(), 1);
+        assert_eq!(FormatDescriptor::dense(&[2, 3]).data_dependent_levels(), 0);
+    }
+
+    #[test]
+    fn csr_beats_coo_when_dense_rows() {
+        // 100 rows, 1000 nnz: nnz > rows + 1 so CSR must use fewer words.
+        let triplets: Vec<_> = (0..1000)
+            .map(|i| ((i / 10) as u32, (i % 10) as u32, 1.0))
+            .collect();
+        let coo = CooMatrix::from_triplets(100, 10, triplets).expect("valid");
+        let report = MatrixStorageReport::measure(&coo);
+        assert!(report.csr_words < report.coo_words);
+    }
+
+    #[test]
+    fn dcsr_beats_csr_when_hypersparse() {
+        // 1000 rows but only 10 non-empty: rows > 2 × nonempty.
+        let triplets: Vec<_> = (0..10).map(|i| ((i * 100) as u32, 0, 1.0)).collect();
+        let coo = CooMatrix::from_triplets(1000, 4, triplets).expect("valid");
+        let report = MatrixStorageReport::measure(&coo);
+        assert!(report.dcsr_words < report.csr_words);
+    }
+
+    #[test]
+    fn index_words_model_matches_csr() {
+        let triplets: Vec<_> = (0..100)
+            .map(|i| ((i / 10) as u32, (i % 10) as u32, 1.0))
+            .collect();
+        let coo = CooMatrix::from_triplets(10, 10, triplets).expect("valid");
+        let desc = FormatDescriptor::csr(10);
+        // node_counts: 10 rows at level 0, 100 column nodes at level 1.
+        let modeled = desc.index_words(&[10, 100], 100);
+        let measured = MatrixStorageReport::measure(&coo).csr_words;
+        assert_eq!(modeled, measured);
+    }
+}

@@ -1,0 +1,65 @@
+//! Sparse tensor formats, fiber merge semantics, and synthetic workload
+//! generators for the TMU reproduction.
+//!
+//! This crate is the data substrate of the reproduction of *"A Tensor
+//! Marshaling Unit for Sparse Tensor Algebra on General-Purpose Processors"*
+//! (MICRO 2023). It provides:
+//!
+//! * the compression formats of §2.2 of the paper — [`CooMatrix`],
+//!   [`CsrMatrix`], [`DcsrMatrix`], [`CooTensor`], [`CsfTensor`] and dense
+//!   storage ([`DenseMatrix`], [`DenseVector`]);
+//! * the hierarchical *level format* abstraction of Chou et al. used by the
+//!   paper to argue format completeness ([`level`]);
+//! * reference implementations of fiber co-iteration — disjunctive and
+//!   conjunctive merging and lockstep traversal ([`merge`]) — that the TMU
+//!   hardware model is tested against;
+//! * synthetic input generators replicating the statistics of the paper's
+//!   SuiteSparse/FROSTT inputs at simulation-tractable scale ([`gen`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tmu_tensor::{CooMatrix, CsrMatrix};
+//!
+//! # fn main() -> Result<(), tmu_tensor::FormatError> {
+//! let coo = CooMatrix::from_triplets(
+//!     4,
+//!     6,
+//!     vec![(0, 0, 1.0), (0, 5, 2.0), (2, 1, 3.0), (3, 4, 4.0)],
+//! )?;
+//! let csr = CsrMatrix::from_coo(&coo);
+//! assert_eq!(csr.nnz(), 4);
+//! assert_eq!(csr.row(2).count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coo;
+mod csf;
+mod csr;
+mod dcsr;
+mod dense;
+mod error;
+pub mod gen;
+pub mod io;
+pub mod level;
+pub mod merge;
+
+pub use coo::{CooMatrix, CooTensor};
+pub use csf::{CsfNodeIter, CsfTensor};
+pub use csr::{CsrMatrix, CsrRowIter};
+pub use dcsr::DcsrMatrix;
+pub use dense::{DenseMatrix, DenseTensor, DenseVector};
+pub use error::FormatError;
+
+/// Index type used for tensor coordinates throughout the workspace.
+///
+/// 32-bit indexes match what the paper's hardware streams carry and keep the
+/// memory traffic of the simulated kernels faithful to the originals.
+pub type Idx = u32;
+
+/// Value type for tensor elements (the paper computes in double precision).
+pub type Val = f64;

@@ -1,0 +1,15 @@
+//! Workspace root crate for the TMU reproduction.
+//!
+//! This crate only re-exports the member crates so that the runnable
+//! `examples/` and cross-crate integration `tests/` at the repository root
+//! have a single dependency surface. The actual functionality lives in:
+//!
+//! * [`tmu_tensor`] — sparse tensor formats, merge semantics, generators;
+//! * [`tmu_sim`] — the cycle-level multicore simulator substrate;
+//! * [`tmu`] — the Tensor Marshaling Unit engine (the paper's contribution);
+//! * [`tmu_kernels`] — the evaluated workloads (baseline and TMU-mapped).
+
+pub use tmu;
+pub use tmu_kernels;
+pub use tmu_sim;
+pub use tmu_tensor;

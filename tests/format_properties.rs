@@ -1,0 +1,93 @@
+//! Property tests over the tensor-format substrate: conversions between
+//! formats are lossless, and the level-format storage rules of §2.2 hold.
+
+use proptest::prelude::*;
+
+use tmu_tensor::level::MatrixStorageReport;
+use tmu_tensor::{CooMatrix, CooTensor, CsfTensor, CsrMatrix, DcsrMatrix};
+
+fn triplets() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::btree_map((0u32..48, 0u32..48), 0.25f64..4.0, 0..160)
+        .prop_map(|m| m.into_iter().map(|((r, c), v)| (r, c, v)).collect())
+}
+
+fn tensor_entries() -> impl Strategy<Value = Vec<(Vec<u32>, f64)>> {
+    proptest::collection::btree_map((0u32..12, 0u32..12, 0u32..12), 0.25f64..4.0, 0..120)
+        .prop_map(|m| {
+            m.into_iter()
+                .map(|((a, b, c), v)| (vec![a, b, c], v))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_roundtrips_coo(ts in triplets()) {
+        let coo = CooMatrix::from_triplets(48, 48, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        prop_assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn dcsr_roundtrips_csr(ts in triplets()) {
+        let coo = CooMatrix::from_triplets(48, 48, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        let dcsr = DcsrMatrix::from_csr(&csr);
+        // DCSR never stores more row-structure words than rows+1.
+        prop_assert!(dcsr.num_stored_rows() <= csr.rows());
+        prop_assert_eq!(dcsr.to_csr(), csr);
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_preserves_nnz(ts in triplets()) {
+        let coo = CooMatrix::from_triplets(48, 48, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        let t = csr.transpose();
+        prop_assert_eq!(t.nnz(), csr.nnz());
+        prop_assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn csf_roundtrips_coo_tensor(entries in tensor_entries()) {
+        let coo = CooTensor::from_entries(vec![12, 12, 12], entries).expect("in range");
+        let csf = CsfTensor::from_coo(&coo);
+        prop_assert_eq!(csf.to_coo(), coo.clone());
+        prop_assert_eq!(csf.nnz(), coo.nnz());
+        // Level node counts shrink monotonically toward the root.
+        if csf.nnz() > 0 {
+            prop_assert!(csf.num_nodes(0) <= csf.num_nodes(1));
+            prop_assert!(csf.num_nodes(1) <= csf.num_nodes(2));
+        }
+    }
+
+    #[test]
+    fn storage_rules_of_section_2_2(ts in triplets()) {
+        let coo = CooMatrix::from_triplets(48, 48, ts).expect("in range");
+        let report = MatrixStorageReport::measure(&coo);
+        // CSR beats COO exactly when #nnz > #rows + 1 (§2.2).
+        if coo.nnz() > 48 + 1 {
+            prop_assert!(report.csr_words < report.coo_words);
+        }
+        // DCSR always beats CSR when over half the rows are empty.
+        let csr = CsrMatrix::from_coo(&coo);
+        if 48 > 2 * csr.nonempty_rows() + 3 {
+            prop_assert!(report.dcsr_words < report.csr_words);
+        }
+    }
+
+    #[test]
+    fn generators_produce_valid_sorted_csr(seed in 0u64..1000) {
+        let m = tmu_tensor::gen::uniform(64, 64, 4, seed);
+        // from_parts re-validates every invariant (sortedness, bounds).
+        let rebuilt = CsrMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.row_ptrs().to_vec(),
+            m.col_idxs().to_vec(),
+            m.vals().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+    }
+}
