@@ -37,7 +37,9 @@ fn fig03_stall_profile(c: &mut Criterion) {
 /// Figure 10 (left): SpMV baseline vs TMU.
 fn fig10_spmv(c: &mut Criterion) {
     let w = Spmv::new(&gen::uniform(1024, 8192, 8, 2));
-    c.bench_function("fig10/spmv_baseline", |b| b.iter(|| w.run_baseline(small_sys())));
+    c.bench_function("fig10/spmv_baseline", |b| {
+        b.iter(|| w.run_baseline(small_sys()))
+    });
     c.bench_function("fig10/spmv_tmu", |b| {
         b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
     });
@@ -54,7 +56,9 @@ fn fig10_spmspm(c: &mut Criterion) {
 /// Figure 10: the merge-intensive proxy.
 fn fig10_spkadd(c: &mut Criterion) {
     let w = Spkadd::new(&gen::uniform(2048, 512, 4, 4));
-    c.bench_function("fig10/spkadd_baseline", |b| b.iter(|| w.run_baseline(small_sys())));
+    c.bench_function("fig10/spkadd_baseline", |b| {
+        b.iter(|| w.run_baseline(small_sys()))
+    });
     c.bench_function("fig10/spkadd_tmu", |b| {
         b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
     });
@@ -62,7 +66,10 @@ fn fig10_spkadd(c: &mut Criterion) {
 
 /// Figure 10 (right): a tensor workload.
 fn fig10_mttkrp(c: &mut Criterion) {
-    let w = Mttkrp::new(&gen::random_tensor(&[256, 64, 48], 4000, 5), MttkrpVariant::Mp);
+    let w = Mttkrp::new(
+        &gen::random_tensor(&[256, 64, 48], 4000, 5),
+        MttkrpVariant::Mp,
+    );
     c.bench_function("fig10/mttkrp_tmu", |b| {
         b.iter(|| w.run_tmu(small_sys(), TmuConfig::paper()))
     });
@@ -90,7 +97,9 @@ fn fig13_read_to_write(c: &mut Criterion) {
 /// Figure 14: one sensitivity point (4 KB, 256-bit SVE).
 fn fig14_sensitivity(c: &mut Criterion) {
     let w = Spmv::new(&gen::uniform(1024, 8192, 8, 8));
-    let tmu = TmuConfig::paper().for_sve_bits(256).with_total_storage(4 << 10);
+    let tmu = TmuConfig::paper()
+        .for_sve_bits(256)
+        .with_total_storage(4 << 10);
     c.bench_function("fig14/spmv_4kb_256b", |b| {
         b.iter(|| w.run_tmu(configs::neoverse_n1_with_sve(256), tmu))
     });

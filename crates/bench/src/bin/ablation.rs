@@ -13,10 +13,10 @@
 use std::sync::Arc;
 
 use tmu::{TmuAccelerator, TmuConfig};
+use tmu_bench::runner::{bench_row, EngineVariant, InputSpec, Job, Runner};
 use tmu_bench::Report;
 use tmu_kernels::spmv::{Spmv, SpmvHandler};
-use tmu_kernels::workload::Workload;
-use tmu_sim::{configs, MemSys, MemSysConfig, OpKind};
+use tmu_sim::{MemSys, MemSysConfig, OpKind};
 use tmu_tensor::gen;
 
 use tmu_sim::Accelerator;
@@ -43,7 +43,10 @@ fn engine_cycles(w: &Spmv, prog: Arc<tmu::Program>, cfg: TmuConfig) -> u64 {
 }
 
 fn main() {
-    let mut report = Report::new("ablation", "design-choice ablations (engine-side unless noted)");
+    let mut report = Report::new(
+        "ablation",
+        "design-choice ablations (engine-side unless noted)",
+    );
     let w = Spmv::new(&gen::uniform(8192, 65_536, 8, 77));
     let rows = (0usize, 8192usize);
 
@@ -62,21 +65,35 @@ fn main() {
 
     // ---- 2. outQ chunk granularity (full system: coupling matters). ----
     report.line("outQ chunk granularity (SpMV, full 8-core system):");
-    let sys = configs::neoverse_n1_system();
-    let mut base_cycles = None;
-    for entries in [8usize, 16, 32, 64, 128, 256] {
-        let tmu = TmuConfig {
-            chunk_entries: entries,
-            ..TmuConfig::paper()
-        };
-        let run = w.run_tmu(sys, tmu);
-        let base = *base_cycles.get_or_insert(run.stats.cycles);
+    // Same matrix as the engine probes above, rebuilt by the runner from
+    // its generator spec so the sweep can go through the worker pool.
+    let input = InputSpec::Uniform {
+        rows: 8192,
+        cols: 65_536,
+        nnz_per_row: 8,
+        seed: 77,
+    };
+    let chunk_sizes = [8usize, 16, 32, 64, 128, 256];
+    let jobs: Vec<Job> = chunk_sizes
+        .iter()
+        .map(|&entries| {
+            Job::new("SpMV", input, EngineVariant::Tmu).with_tmu(TmuConfig {
+                chunk_entries: entries,
+                ..TmuConfig::paper()
+            })
+        })
+        .collect();
+    let runner = Runner::new();
+    let runs = runner.run_all(&jobs);
+    let base = runs[0].stats.cycles;
+    for ((&entries, job), run) in chunk_sizes.iter().zip(&jobs).zip(&runs) {
         report.line(format!(
             "  {entries:>4} entries/chunk: {:>9} cycles ({:+.1}%)  r2w {:.2}",
             run.stats.cycles,
             (run.stats.cycles as f64 / base as f64 - 1.0) * 100.0,
             run.read_to_write_ratio()
         ));
+        report.push_row(bench_row("ablation", &format!("chunk{entries}"), job, run));
     }
     report.line("");
 

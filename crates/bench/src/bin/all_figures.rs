@@ -1,19 +1,26 @@
 //! Regenerates every table and figure of the paper's evaluation in one
-//! run, sharing measured run pairs across figures. Reports land under
-//! `results/`.
+//! run. Figures share one [`tmu_bench::runner::Runner`], whose memo cache
+//! coalesces the (baseline, TMU) pairs figures 10–13 and 15 have in
+//! common while the worker pool keeps every distinct job in flight.
+//! Reports land under `results/`, structured rows in `results/bench.json`.
 
 fn main() {
     let t0 = std::time::Instant::now();
+    let runner = tmu_bench::runner::Runner::new();
     tmu_bench::figs::table06();
     tmu_bench::figs::area_report();
     tmu_bench::figs::verify_all();
-    tmu_bench::figs::fig03();
-    let mut cache = tmu_bench::figs::RunCache::new();
-    tmu_bench::figs::fig10(&mut cache);
-    tmu_bench::figs::fig11(&mut cache);
-    tmu_bench::figs::fig12(&mut cache);
-    tmu_bench::figs::fig13(&mut cache);
-    tmu_bench::figs::fig15(&mut cache);
-    tmu_bench::figs::fig14();
-    println!("all figures regenerated in {:.0}s", t0.elapsed().as_secs_f64());
+    tmu_bench::figs::fig03(&runner);
+    tmu_bench::figs::fig10(&runner);
+    tmu_bench::figs::fig11(&runner);
+    tmu_bench::figs::fig12(&runner);
+    tmu_bench::figs::fig13(&runner);
+    tmu_bench::figs::fig15(&runner);
+    tmu_bench::figs::fig14(&runner);
+    println!(
+        "all figures regenerated in {:.0}s ({} simulations on {} workers)",
+        t0.elapsed().as_secs_f64(),
+        runner.simulations(),
+        runner.workers()
+    );
 }

@@ -1,25 +1,28 @@
 //! Scale-sensitivity probe: how baseline/TMU cycles and speedups move with
-//! the `TMU_SCALE` input multiplier (bring-up tool, not a paper figure).
+//! the input scale multiplier (bring-up tool, not a paper figure).
+//!
+//! The scale is threaded explicitly through the `*_workload_at` builders —
+//! mutating `TMU_SCALE` per iteration would race against the process-wide
+//! value, which is read exactly once (see `tmu_bench::scale`).
 
 use tmu::TmuConfig;
-use tmu_bench::{matrix_workload, tensor_workload};
+use tmu_bench::{matrix_workload_at, tensor_workload_at};
 use tmu_sim::configs;
 use tmu_tensor::gen::InputId;
 
 fn main() {
     let cfg = configs::neoverse_n1_system();
     let tmu = TmuConfig::paper();
-    for s in ["0.25", "0.5", "1.0"] {
-        std::env::set_var("TMU_SCALE", s);
+    for s in [0.25f64, 0.5, 1.0] {
         for (kind, id, name) in [
             ("m", InputId::M3, "SpMV"),
             ("m", InputId::M3, "SpMSpM"),
             ("t", InputId::T2, "MTTKRP_MP"),
         ] {
             let w = if kind == "m" {
-                matrix_workload(name, id)
+                matrix_workload_at(name, id, s)
             } else {
-                tensor_workload(name, id)
+                tensor_workload_at(name, id, s)
             };
             let t0 = std::time::Instant::now();
             let base = w.run_baseline(cfg);

@@ -10,8 +10,8 @@ use std::sync::Arc;
 use tmu::{TmuAccelerator, TmuConfig};
 use tmu_kernels::spmv::{Spmv, SpmvHandler};
 use tmu_kernels::workload::Workload;
-use tmu_sim::{Accelerator, MemSys, MemSysConfig, OpKind, SystemConfig};
 use tmu_sim::{configs, CoreConfig};
+use tmu_sim::{Accelerator, MemSys, MemSysConfig, OpKind, SystemConfig};
 use tmu_tensor::gen;
 
 fn main() {

@@ -1,5 +1,6 @@
 //! Regenerates the paper artifact `fig03` (see DESIGN.md §4).
 
 fn main() {
-    tmu_bench::figs::fig03();
+    let runner = tmu_bench::runner::Runner::new();
+    tmu_bench::figs::fig03(&runner);
 }

@@ -1,6 +1,6 @@
-//! Figure 10: TMU speedups for linear and tensor algebra workloads.
+//! Regenerates the paper artifact `fig10` (see DESIGN.md §4).
 
 fn main() {
-    let mut cache = tmu_bench::figs::RunCache::new();
-    tmu_bench::figs::fig10(&mut cache);
+    let runner = tmu_bench::runner::Runner::new();
+    tmu_bench::figs::fig10(&runner);
 }

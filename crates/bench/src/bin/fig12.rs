@@ -1,6 +1,6 @@
 //! Regenerates the paper artifact `fig12` (see DESIGN.md §4).
 
 fn main() {
-    let mut c = tmu_bench::figs::RunCache::new();
-    tmu_bench::figs::fig12(&mut c);
+    let runner = tmu_bench::runner::Runner::new();
+    tmu_bench::figs::fig12(&runner);
 }

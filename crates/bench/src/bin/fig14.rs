@@ -1,5 +1,6 @@
 //! Regenerates the paper artifact `fig14` (see DESIGN.md §4).
 
 fn main() {
-    tmu_bench::figs::fig14();
+    let runner = tmu_bench::runner::Runner::new();
+    tmu_bench::figs::fig14(&runner);
 }

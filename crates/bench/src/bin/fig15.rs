@@ -1,6 +1,6 @@
 //! Regenerates the paper artifact `fig15` (see DESIGN.md §4).
 
 fn main() {
-    let mut c = tmu_bench::figs::RunCache::new();
-    tmu_bench::figs::fig15(&mut c);
+    let runner = tmu_bench::runner::Runner::new();
+    tmu_bench::figs::fig15(&runner);
 }

@@ -1,0 +1,388 @@
+//! Structured perf rows and the `results/bench.json` writer.
+//!
+//! Every figure's simulated runs are flattened into [`BenchRow`] records
+//! and merged into one `results/bench.json` file so future PRs can gate
+//! perf regressions on a machine-readable trajectory instead of diffing
+//! plain-text reports. Merging is file-level: a standalone figure binary
+//! refreshes its own figure's rows and carries every other figure in the
+//! existing file through verbatim.
+//!
+//! The JSON is emitted by hand: the workspace's `serde` dependency
+//! resolves to the offline marker-trait stub (see `vendor/README.md`),
+//! so derived serialization is not available. The schema is small and
+//! flat enough that an explicit emitter is the sturdier choice anyway —
+//! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
+//! `null`.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "figures": {
+//!     "<figure>": [ { <BenchRow fields> }, ... ],
+//!     ...
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// One simulated run, flattened for `results/bench.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchRow {
+    /// Figure the row belongs to (`"fig10"`, …).
+    pub figure: String,
+    /// Kernel name (`"SpMV"`, …).
+    pub kernel: String,
+    /// Input label (`"M3"`, `"fr256x8"`, …).
+    pub input: String,
+    /// Engine variant label (`"baseline-sve"`, `"tmu"`, …).
+    pub engine: String,
+    /// Machine label (`"table5"` unless the figure sweeps machines).
+    pub machine: String,
+    /// Input scale, when the input is a scaled Table 6 stand-in.
+    pub scale: Option<f64>,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Committing fraction of the top-down breakdown.
+    pub committing: f64,
+    /// Frontend-stall fraction of the top-down breakdown.
+    pub frontend: f64,
+    /// Backend-stall fraction of the top-down breakdown.
+    pub backend: f64,
+    /// Average load-to-use latency in cycles.
+    pub load_to_use: f64,
+    /// Total FLOPs.
+    pub flops: u64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Arithmetic intensity in FLOP/byte.
+    pub arithmetic_intensity: f64,
+    /// DRAM row-buffer hit fraction.
+    pub dram_row_hit_rate: f64,
+    /// L1 (hits, misses, merged) summed over cores.
+    pub l1: (u64, u64, u64),
+    /// L2 (hits, misses, merged) summed over cores.
+    pub l2: (u64, u64, u64),
+    /// LLC (hits, misses, merged) summed over slices.
+    pub llc: (u64, u64, u64),
+    /// Cachelines read from DRAM.
+    pub dram_lines_read: u64,
+    /// Cachelines written to DRAM.
+    pub dram_lines_written: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses.
+    pub dram_row_misses: u64,
+    /// outQ entries marshaled (TMU variants; 0 otherwise).
+    pub outq_entries: u64,
+    /// outQ chunks sealed (TMU variants; 0 otherwise).
+    pub outq_chunks: u64,
+    /// Engine cycles stalled on the outQ double-buffer gate.
+    pub outq_backpressure_cycles: u64,
+    /// Figure 13 read-to-write ratio (0 when not a TMU variant).
+    pub outq_read_to_write: f64,
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // JSON has no NaN/Infinity literal.
+        out.push_str("null");
+    }
+}
+
+impl BenchRow {
+    fn write(&self, out: &mut String) {
+        macro_rules! str_field {
+            ($key:literal, $v:expr) => {
+                out.push_str(concat!("\"", $key, "\":"));
+                push_str(out, $v);
+                out.push(',');
+            };
+        }
+        macro_rules! u64_field {
+            ($key:literal, $v:expr) => {
+                out.push_str(concat!("\"", $key, "\":"));
+                out.push_str(&format!("{}", $v));
+                out.push(',');
+            };
+        }
+        macro_rules! f64_field {
+            ($key:literal, $v:expr) => {
+                out.push_str(concat!("\"", $key, "\":"));
+                push_f64(out, $v);
+                out.push(',');
+            };
+        }
+        out.push('{');
+        str_field!("figure", &self.figure);
+        str_field!("kernel", &self.kernel);
+        str_field!("input", &self.input);
+        str_field!("engine", &self.engine);
+        str_field!("machine", &self.machine);
+        match self.scale {
+            Some(s) => {
+                out.push_str("\"scale\":");
+                push_f64(out, s);
+                out.push(',');
+            }
+            None => out.push_str("\"scale\":null,"),
+        }
+        u64_field!("cycles", self.cycles);
+        f64_field!("committing", self.committing);
+        f64_field!("frontend", self.frontend);
+        f64_field!("backend", self.backend);
+        f64_field!("load_to_use", self.load_to_use);
+        u64_field!("flops", self.flops);
+        u64_field!("dram_bytes", self.dram_bytes);
+        f64_field!("gflops", self.gflops);
+        f64_field!("bandwidth_gbs", self.bandwidth_gbs);
+        f64_field!("arithmetic_intensity", self.arithmetic_intensity);
+        f64_field!("dram_row_hit_rate", self.dram_row_hit_rate);
+        u64_field!("l1_hits", self.l1.0);
+        u64_field!("l1_misses", self.l1.1);
+        u64_field!("l1_merged", self.l1.2);
+        u64_field!("l2_hits", self.l2.0);
+        u64_field!("l2_misses", self.l2.1);
+        u64_field!("l2_merged", self.l2.2);
+        u64_field!("llc_hits", self.llc.0);
+        u64_field!("llc_misses", self.llc.1);
+        u64_field!("llc_merged", self.llc.2);
+        u64_field!("dram_lines_read", self.dram_lines_read);
+        u64_field!("dram_lines_written", self.dram_lines_written);
+        u64_field!("dram_row_hits", self.dram_row_hits);
+        u64_field!("dram_row_misses", self.dram_row_misses);
+        u64_field!("outq_entries", self.outq_entries);
+        u64_field!("outq_chunks", self.outq_chunks);
+        u64_field!("outq_backpressure_cycles", self.outq_backpressure_cycles);
+        f64_field!("outq_read_to_write", self.outq_read_to_write);
+        // Drop the trailing comma.
+        out.pop();
+        out.push('}');
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Vec<BenchRow>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Vec<BenchRow>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Registers (replacing any previous run of) `figure`'s rows.
+pub fn record(figure: &str, rows: Vec<BenchRow>) {
+    registry()
+        .lock()
+        .expect("bench.json registry poisoned")
+        .insert(figure.to_owned(), rows);
+}
+
+fn render(figures: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n\"schema_version\":1,\n\"figures\":{\n");
+    let mut first_fig = true;
+    for (figure, body) in figures {
+        if !first_fig {
+            out.push_str(",\n");
+        }
+        first_fig = false;
+        push_str(&mut out, figure);
+        out.push_str(":[\n");
+        out.push_str(body);
+        out.push_str("\n]");
+    }
+    out.push_str("\n}\n}\n");
+    out
+}
+
+fn rows_body(rows: &[BenchRow]) -> String {
+    let mut body = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        row.write(&mut body);
+    }
+    body
+}
+
+/// Recovers the per-figure row arrays (as raw JSON text) from a
+/// `bench.json` this emitter wrote earlier. Relies on the emitter's fixed
+/// layout: one row per line, every array closed by a `\n]` pair. Returns
+/// an empty map for a missing or foreign file.
+fn parse_existing(path: &Path) -> BTreeMap<String, String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    let Some(start) = text.find("\"figures\":{") else {
+        return out;
+    };
+    let mut rest = &text[start + "\"figures\":{".len()..];
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(qe) = rest.find('"') else { break };
+        let name = rest[..qe].to_owned();
+        rest = &rest[qe + 1..];
+        let Some(open) = rest.find('[') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find("\n]") else { break };
+        out.insert(name, rest[..close].trim_matches('\n').to_owned());
+        rest = &rest[close + 2..];
+        if !rest.trim_start().starts_with(',') {
+            break;
+        }
+    }
+    out
+}
+
+/// Serializes every figure recorded so far in this process.
+pub fn render_bench_json() -> String {
+    let reg = registry().lock().expect("bench.json registry poisoned");
+    let figures: BTreeMap<String, String> = reg
+        .iter()
+        .map(|(name, rows)| (name.clone(), rows_body(rows)))
+        .collect();
+    render(&figures)
+}
+
+/// Writes `bench.json` under `dir`, merging this process's recorded
+/// figures over any figures an earlier run (e.g. another `fig*` binary)
+/// left in the file — so `cargo run --bin fig10` refreshes only its own
+/// rows instead of clobbering the rest. Delete the file for a clean
+/// rebuild.
+pub fn write_bench_json(dir: &Path) -> PathBuf {
+    let path = dir.join("bench.json");
+    let mut figures = parse_existing(&path);
+    {
+        let reg = registry().lock().expect("bench.json registry poisoned");
+        for (name, rows) in reg.iter() {
+            figures.insert(name.clone(), rows_body(rows));
+        }
+    }
+    std::fs::write(&path, render(&figures)).expect("write bench.json");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_to_valid_flat_json() {
+        let row = BenchRow {
+            figure: "figX".into(),
+            kernel: "SpMV".into(),
+            input: "M\"3\\".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            scale: Some(0.05),
+            cycles: 42,
+            committing: 0.5,
+            load_to_use: f64::NAN,
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        row.write(&mut s);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"kernel\":\"SpMV\""));
+        assert!(s.contains("\"input\":\"M\\\"3\\\\\""), "{s}");
+        assert!(s.contains("\"scale\":0.05"));
+        assert!(s.contains("\"cycles\":42"));
+        assert!(s.contains("\"load_to_use\":null"), "NaN must map to null");
+        assert!(!s.contains(",}"), "no trailing comma: {s}");
+        // Balanced quoting: an even number of unescaped quotes. Scan with
+        // an escape flag — stripping `\"` textually would also eat a real
+        // delimiter preceded by an escaped backslash (`...\\"`).
+        let mut quotes = 0usize;
+        let mut escaped = false;
+        for c in s.chars() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                quotes += 1;
+            }
+        }
+        assert_eq!(quotes % 2, 0, "{s}");
+    }
+
+    #[test]
+    fn registry_merges_figures() {
+        record(
+            "zz_test_fig_a",
+            vec![BenchRow {
+                figure: "zz_test_fig_a".into(),
+                ..BenchRow::default()
+            }],
+        );
+        record("zz_test_fig_b", Vec::new());
+        let s = render_bench_json();
+        assert!(s.contains("\"schema_version\":1"));
+        assert!(s.contains("\"zz_test_fig_a\":["));
+        assert!(s.contains("\"zz_test_fig_b\":["));
+        // Re-recording replaces, not appends.
+        record("zz_test_fig_a", Vec::new());
+        let s = render_bench_json();
+        assert!(s.contains("\"zz_test_fig_a\":[\n\n]"), "{s}");
+    }
+
+    #[test]
+    fn write_merges_with_existing_file() {
+        let dir = std::env::temp_dir().join(format!("tmu-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A previous process left a figure this process never records.
+        std::fs::write(
+            dir.join("bench.json"),
+            "{\n\"schema_version\":1,\n\"figures\":{\n\"zz_prev_fig\":[\n\
+             {\"figure\":\"zz_prev_fig\",\"cycles\":9}\n]\n}\n}\n",
+        )
+        .unwrap();
+        record(
+            "zz_merge_fig",
+            vec![BenchRow {
+                figure: "zz_merge_fig".into(),
+                cycles: 7,
+                ..BenchRow::default()
+            }],
+        );
+        let path = write_bench_json(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"zz_prev_fig\":[\n{\"figure\":\"zz_prev_fig\",\"cycles\":9}\n]"),
+            "foreign figure carried through: {text}"
+        );
+        assert!(text.contains("\"zz_merge_fig\":["), "{text}");
+        assert!(text.contains("\"cycles\":7"), "{text}");
+        // A second write round-trips the merged file unchanged.
+        let again = std::fs::read_to_string(write_bench_json(&dir)).unwrap();
+        assert_eq!(text, again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,19 +2,28 @@
 //!
 //! One binary per paper artifact (`fig03`, `fig10`, … `area`); each
 //! regenerates the corresponding table or figure on the synthetic Table 6
-//! stand-ins and writes a plain-text report under `results/`. The
-//! `all_figures` binary runs everything in sequence.
+//! stand-ins and writes a plain-text report under `results/` plus
+//! machine-readable rows into `results/bench.json` (see [`json`]).
 //!
-//! The global input scale can be reduced for quick runs with the
-//! `TMU_SCALE` environment variable (default 1.0 — itself ≈32× smaller
-//! than the paper's inputs, see `tmu_tensor::gen`).
+//! Figure binaries dispatch their simulations through the parallel
+//! [`runner`], which memoizes (job → result) so figures sharing the same
+//! underlying runs (10/11/12/13/15) simulate each pair exactly once.
+//!
+//! Environment knobs, each read once at startup:
+//! * `TMU_SCALE` — global input scale multiplier (default 1.0 — itself
+//!   ≈32× smaller than the paper's inputs, see `tmu_tensor::gen`).
+//! * `TMU_JOBS` — worker threads of the runner (default: available
+//!   parallelism). Results are independent of the worker count.
 
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod json;
+pub mod runner;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use tmu_kernels::workload::Workload;
 use tmu_kernels::{
@@ -28,28 +37,53 @@ use tmu_kernels::{
     trianglecount::TriangleCount,
 };
 use tmu_tensor::gen::{InputId, ScaledInput};
+use tmu_tensor::CsrMatrix;
 
-/// Input scale multiplier from `TMU_SCALE` (default 1.0).
+use crate::json::BenchRow;
+
+/// Input scale multiplier from `TMU_SCALE`, read once per process
+/// (default 1.0). Reading the environment once makes the value immune to
+/// `set_var` races under the parallel test runner and the parallel
+/// experiment runner alike; code that needs a different scale threads it
+/// explicitly (see [`matrix_workload_at`] and [`runner::InputSpec`]).
 pub fn scale() -> f64 {
-    std::env::var("TMU_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    static SCALE: OnceLock<f64> = OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("TMU_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0)
+    })
 }
 
-/// Geometric mean of a non-empty slice.
+/// Geometric mean of the positive, finite entries of a slice.
+///
+/// Non-positive or non-finite entries carry no information on a log scale
+/// (`ln` would turn them into NaN and poison the whole mean), so they are
+/// filtered out; a slice without any positive entry yields 0.0.
 pub fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() && x > 0.0 {
+            sum += x.ln();
+            n += 1;
+        }
     }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
 }
 
-/// A plain-text figure report, printed and written to `results/`.
+/// A figure report: plain text printed and written to `results/<name>.txt`,
+/// plus structured per-run rows merged into `results/bench.json`.
 #[derive(Debug)]
 pub struct Report {
     name: &'static str,
     body: String,
+    rows: Vec<BenchRow>,
 }
 
 impl Report {
@@ -62,7 +96,16 @@ impl Report {
             "# scale = {} (see DESIGN.md §2 for input substitution)",
             scale()
         );
-        Self { name, body }
+        Self {
+            name,
+            body,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The report's figure name (`"fig10"`, …).
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// Appends a line (also echoed to stdout).
@@ -72,33 +115,54 @@ impl Report {
         self.body.push('\n');
     }
 
-    /// Writes the report under `results/<name>.txt`.
+    /// Appends one structured row for `results/bench.json`.
+    pub fn push_row(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Writes the report under `results/<name>.txt` and, when the report
+    /// carries structured rows, refreshes `results/bench.json`.
     pub fn save(&self) -> PathBuf {
         let dir = PathBuf::from("results");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.txt", self.name));
         std::fs::write(&path, &self.body).expect("write report");
         println!("→ wrote {}", path.display());
+        if !self.rows.is_empty() {
+            json::record(self.name, self.rows.clone());
+            let jpath = json::write_bench_json(&dir);
+            println!("→ wrote {}", jpath.display());
+        }
         path
     }
 }
 
-/// Builds the matrix workload `kernel` on Table 6 input `id`.
-pub fn matrix_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
-    let m = ScaledInput::new(id).with_scale(scale()).matrix();
+/// Builds the matrix `kernel` over an already-generated matrix.
+pub fn matrix_kernel(kernel: &str, m: &CsrMatrix) -> Box<dyn Workload> {
     match kernel {
-        "SpMV" => Box::new(Spmv::new(&m)),
-        "SpMSpM" => Box::new(Spmspm::new(&m)),
-        "SpKAdd" => Box::new(Spkadd::new(&m)),
-        "PR" => Box::new(PageRank::new(&m)),
-        "TC" => Box::new(TriangleCount::new(&m)),
+        "SpMV" => Box::new(Spmv::new(m)),
+        "SpMSpM" => Box::new(Spmspm::new(m)),
+        "SpKAdd" => Box::new(Spkadd::new(m)),
+        "PR" => Box::new(PageRank::new(m)),
+        "TC" => Box::new(TriangleCount::new(m)),
         other => panic!("unknown matrix kernel {other}"),
     }
 }
 
-/// Builds the tensor workload `kernel` on Table 6 input `id`.
-pub fn tensor_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
-    let t = ScaledInput::new(id).with_scale(scale()).tensor();
+/// Builds the matrix workload `kernel` on Table 6 input `id` at `scale`.
+pub fn matrix_workload_at(kernel: &str, id: InputId, scale: f64) -> Box<dyn Workload> {
+    let m = ScaledInput::new(id).with_scale(scale).matrix();
+    matrix_kernel(kernel, &m)
+}
+
+/// Builds the matrix workload `kernel` on `id` at the global [`scale`].
+pub fn matrix_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
+    matrix_workload_at(kernel, id, scale())
+}
+
+/// Builds the tensor workload `kernel` on Table 6 input `id` at `scale`.
+pub fn tensor_workload_at(kernel: &str, id: InputId, scale: f64) -> Box<dyn Workload> {
+    let t = ScaledInput::new(id).with_scale(scale).tensor();
     match kernel {
         "MTTKRP_MP" => Box::new(Mttkrp::new(&t, MttkrpVariant::Mp)),
         "MTTKRP_CP" => Box::new(Mttkrp::new(&t, MttkrpVariant::Cp)),
@@ -121,6 +185,11 @@ pub fn tensor_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
         }
         other => panic!("unknown tensor kernel {other}"),
     }
+}
+
+/// Builds the tensor workload `kernel` on `id` at the global [`scale`].
+pub fn tensor_workload(kernel: &str, id: InputId) -> Box<dyn Workload> {
+    tensor_workload_at(kernel, id, scale())
 }
 
 /// Fuses trailing modes so an order-n tensor becomes order-3, compacting
@@ -153,11 +222,8 @@ pub fn fuse_to_order3(t: &tmu_tensor::CooTensor) -> tmu_tensor::CooTensor {
         .drain(..)
         .map(|(c, l, v)| (vec![c[0], c[1], remap[&l]], v))
         .collect();
-    tmu_tensor::CooTensor::from_entries(
-        vec![dims[0], dims[1], distinct.len().max(1)],
-        entries,
-    )
-    .expect("fusion stays in bounds")
+    tmu_tensor::CooTensor::from_entries(vec![dims[0], dims[1], distinct.len().max(1)], entries)
+        .expect("fusion stays in bounds")
 }
 
 /// Matrix kernels of Figure 10 (left panel).
@@ -177,14 +243,25 @@ mod tests {
     }
 
     #[test]
+    fn geomean_filters_non_positive() {
+        // A zero or negative speedup must not poison the mean with NaN.
+        assert!((geomean(&[2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, -3.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        assert!(!geomean(&[0.0]).is_nan());
+    }
+
+    #[test]
     fn workload_builders_cover_all_kernels() {
-        std::env::set_var("TMU_SCALE", "0.02");
+        // Scale threaded explicitly — mutating TMU_SCALE here would race
+        // against other tests reading the process-wide value.
         for k in MATRIX_KERNELS {
-            let w = matrix_workload(k, InputId::M4);
+            let w = matrix_workload_at(k, InputId::M4, 0.02);
             assert_eq!(w.name(), k);
         }
         for k in TENSOR_KERNELS {
-            let w = tensor_workload(k, InputId::T4);
+            let w = tensor_workload_at(k, InputId::T4, 0.02);
             assert_eq!(w.name(), k);
         }
     }

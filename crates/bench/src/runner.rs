@@ -1,0 +1,539 @@
+//! Parallel experiment runner.
+//!
+//! The paper's evaluation (§7) is a grid of independent
+//! (kernel × input × machine × engine) simulations. A [`Job`] names one
+//! grid point, [`Job::run`] simulates it, and a [`Runner`] executes whole
+//! batches across a bounded `std::thread::scope` worker pool with:
+//!
+//! * **deterministic result ordering** — `run_all` returns results in job
+//!   order no matter which worker finished first, so figure text is
+//!   byte-identical between serial (`TMU_JOBS=1`) and parallel runs;
+//! * **a process-wide memo cache** — jobs are keyed by their full
+//!   configuration, so figures sharing runs (10/11/12/13/15) simulate
+//!   each (baseline, TMU) pair exactly once per process.
+//!
+//! Worker count comes from `TMU_JOBS` (read once; default: available
+//! parallelism). Simulations themselves are deterministic — every input
+//! generator is seeded and each job runs on a fresh `System` — so the
+//! worker count and completion order never leak into results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tmu::{OutQSnapshot, TmuConfig};
+use tmu_kernels::workload::{KernelKind, Workload};
+use tmu_sim::{configs, RunStats, SystemConfig};
+use tmu_tensor::gen::{self, InputId};
+
+use crate::json::BenchRow;
+use crate::{matrix_kernel, matrix_workload_at, tensor_workload_at};
+
+/// The input of a job: which data the kernel runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputSpec {
+    /// Synthetic Table 6 stand-in `id` at `scale`.
+    Table6 {
+        /// Input identity (M1–M6, T1–T4).
+        id: InputId,
+        /// Scale multiplier applied to the stand-in.
+        scale: f64,
+    },
+    /// `gen::fixed_row` matrix: `n` nnz per row at columns `0..n-1`
+    /// (the Figure 12c compute-ceiling inputs).
+    FixedRow {
+        /// Row count.
+        rows: usize,
+        /// Nonzeros per row.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `gen::uniform` matrix (ablation inputs).
+    Uniform {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Nonzeros per row.
+        nnz_per_row: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl InputSpec {
+    /// Short label used in reports and `bench.json` rows.
+    pub fn label(&self) -> String {
+        match self {
+            InputSpec::Table6 { id, .. } => id.label().to_owned(),
+            InputSpec::FixedRow { rows, n, .. } => format!("fr{rows}x{n}"),
+            InputSpec::Uniform {
+                rows, nnz_per_row, ..
+            } => format!("u{rows}x{nnz_per_row}"),
+        }
+    }
+
+    /// The scale multiplier, when the input is a scaled stand-in.
+    pub fn scale(&self) -> Option<f64> {
+        match self {
+            InputSpec::Table6 { scale, .. } => Some(*scale),
+            _ => None,
+        }
+    }
+}
+
+/// Which engine executes the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineVariant {
+    /// Software baseline restricted to one 64-bit lane.
+    BaselineScalar,
+    /// Vectorized software baseline at the system's SVE width.
+    BaselineSve,
+    /// Baseline with the Indirect Memory Prefetcher attached (§7.3).
+    Imp,
+    /// TMU with a single lane (§7.3, Figure 15).
+    SingleLane,
+    /// The full TMU.
+    Tmu,
+}
+
+impl EngineVariant {
+    /// Label used in reports and `bench.json` rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineVariant::BaselineScalar => "baseline-scalar",
+            EngineVariant::BaselineSve => "baseline-sve",
+            EngineVariant::Imp => "imp",
+            EngineVariant::SingleLane => "single-lane",
+            EngineVariant::Tmu => "tmu",
+        }
+    }
+
+    fn uses_tmu_config(&self) -> bool {
+        matches!(self, EngineVariant::SingleLane | EngineVariant::Tmu)
+    }
+}
+
+/// One point of the experiment grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Kernel name (`"SpMV"`, …).
+    pub kernel: &'static str,
+    /// Input data selector.
+    pub input: InputSpec,
+    /// Engine variant.
+    pub engine: EngineVariant,
+    /// System (core + memory) configuration.
+    pub sys: SystemConfig,
+    /// TMU configuration (ignored by baseline variants; [`Job::key`]
+    /// canonicalizes it away for them so memoization still coalesces).
+    pub tmu: TmuConfig,
+}
+
+impl Job {
+    /// A job on the default Table 5 system with the paper's TMU config.
+    pub fn new(kernel: &'static str, input: InputSpec, engine: EngineVariant) -> Self {
+        Self {
+            kernel,
+            input,
+            engine,
+            sys: configs::neoverse_n1_system(),
+            tmu: TmuConfig::paper(),
+        }
+    }
+
+    /// Vectorized baseline of `kernel` on Table 6 `id` at `scale`.
+    pub fn baseline(kernel: &'static str, id: InputId, scale: f64) -> Self {
+        Self::new(
+            kernel,
+            InputSpec::Table6 { id, scale },
+            EngineVariant::BaselineSve,
+        )
+    }
+
+    /// Full-TMU run of `kernel` on Table 6 `id` at `scale`.
+    pub fn tmu(kernel: &'static str, id: InputId, scale: f64) -> Self {
+        Self::new(kernel, InputSpec::Table6 { id, scale }, EngineVariant::Tmu)
+    }
+
+    /// Replaces the system configuration.
+    pub fn with_sys(mut self, sys: SystemConfig) -> Self {
+        self.sys = sys;
+        self
+    }
+
+    /// Replaces the TMU configuration.
+    pub fn with_tmu(mut self, tmu: TmuConfig) -> Self {
+        self.tmu = tmu;
+        self
+    }
+
+    /// Memoization key: the full configuration, canonicalized so fields a
+    /// variant ignores (the TMU config of baseline runs) do not split the
+    /// cache. Every keyed type is plain data, so `Debug` is a faithful,
+    /// stable rendering of the configuration.
+    pub fn key(&self) -> String {
+        let tmu = self.engine.uses_tmu_config().then_some(&self.tmu);
+        format!(
+            "{}|{:?}|{:?}|{:?}|{:?}",
+            self.kernel, self.input, self.engine, self.sys, tmu
+        )
+    }
+
+    fn build(&self) -> Box<dyn Workload> {
+        match self.input {
+            InputSpec::Table6 { id, scale } => {
+                if InputId::MATRICES.contains(&id) {
+                    matrix_workload_at(self.kernel, id, scale)
+                } else {
+                    tensor_workload_at(self.kernel, id, scale)
+                }
+            }
+            InputSpec::FixedRow { rows, n, seed } => {
+                matrix_kernel(self.kernel, &gen::fixed_row(rows, n, seed))
+            }
+            InputSpec::Uniform {
+                rows,
+                cols,
+                nnz_per_row,
+                seed,
+            } => matrix_kernel(self.kernel, &gen::uniform(rows, cols, nnz_per_row, seed)),
+        }
+    }
+
+    /// Simulates this job on a fresh system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not support the requested engine variant
+    /// (e.g. [`EngineVariant::Imp`] outside SpMV/SpMSpM).
+    pub fn run(&self) -> RunResult {
+        let w = self.build();
+        let kind = w.kind();
+        let from_stats = |stats: RunStats| RunResult {
+            kind,
+            stats,
+            outq: Vec::new(),
+        };
+        match self.engine {
+            EngineVariant::BaselineSve => from_stats(w.run_baseline(self.sys)),
+            EngineVariant::BaselineScalar => {
+                let mut sys = self.sys;
+                sys.core.sve_bits = 64;
+                from_stats(w.run_baseline(sys))
+            }
+            EngineVariant::Imp => from_stats(
+                w.run_baseline_imp(self.sys)
+                    .unwrap_or_else(|| panic!("{} has no IMP variant", self.kernel)),
+            ),
+            EngineVariant::SingleLane | EngineVariant::Tmu => {
+                let tmu = if self.engine == EngineVariant::SingleLane {
+                    self.tmu.single_lane()
+                } else {
+                    self.tmu
+                };
+                let run = w.run_tmu(self.sys, tmu);
+                RunResult {
+                    kind,
+                    stats: run.stats,
+                    outq: run.outq.iter().map(|o| o.snapshot()).collect(),
+                }
+            }
+        }
+    }
+}
+
+/// The measured outcome of one [`Job`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Workload category of the kernel.
+    pub kind: KernelKind,
+    /// System-level statistics (cycles, breakdown, caches, DRAM).
+    pub stats: RunStats,
+    /// Per-core outQ snapshots (empty for non-TMU variants).
+    pub outq: Vec<OutQSnapshot>,
+}
+
+impl RunResult {
+    /// Mean read-to-write ratio across cores with outQ activity (the
+    /// Figure 13 metric; 0 for non-TMU variants).
+    pub fn read_to_write_ratio(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .outq
+            .iter()
+            .map(|o| o.read_to_write_ratio)
+            .filter(|r| *r > 0.0)
+            .collect();
+        if ratios.is_empty() {
+            0.0
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        }
+    }
+}
+
+/// Flattens one (job, result) into a `bench.json` row. `machine` labels
+/// the system configuration (`"table5"` unless the figure sweeps it).
+pub fn bench_row(figure: &str, machine: &str, job: &Job, res: &RunResult) -> BenchRow {
+    let (committing, frontend, backend) = res.stats.breakdown();
+    let outq_entries = res.outq.iter().map(|o| o.entries).sum();
+    let outq_chunks = res.outq.iter().map(|o| o.chunks).sum();
+    let outq_backpressure_cycles = res.outq.iter().map(|o| o.backpressure_cycles).sum();
+    let m = &res.stats.mem;
+    BenchRow {
+        figure: figure.to_owned(),
+        kernel: job.kernel.to_owned(),
+        input: job.input.label(),
+        engine: job.engine.label().to_owned(),
+        machine: machine.to_owned(),
+        scale: job.input.scale(),
+        cycles: res.stats.cycles,
+        committing,
+        frontend,
+        backend,
+        load_to_use: res.stats.avg_load_to_use(),
+        flops: res.stats.flops(),
+        dram_bytes: res.stats.dram_bytes,
+        gflops: res.stats.gflops(),
+        bandwidth_gbs: res.stats.bandwidth_gbs(),
+        arithmetic_intensity: res.stats.arithmetic_intensity(),
+        dram_row_hit_rate: res.stats.dram_row_hit_rate,
+        l1: (m.l1.hits, m.l1.misses, m.l1.merged),
+        l2: (m.l2.hits, m.l2.misses, m.l2.merged),
+        llc: (m.llc.hits, m.llc.misses, m.llc.merged),
+        dram_lines_read: m.dram_lines_read,
+        dram_lines_written: m.dram_lines_written,
+        dram_row_hits: m.dram_row_hits,
+        dram_row_misses: m.dram_row_misses,
+        outq_entries,
+        outq_chunks,
+        outq_backpressure_cycles,
+        outq_read_to_write: res.read_to_write_ratio(),
+    }
+}
+
+/// Worker count from `TMU_JOBS`, read once per process (default:
+/// available parallelism).
+pub fn default_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("TMU_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// results in item order (work is handed out via an atomic index, so
+/// completion order never affects the output).
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Executes job batches over a worker pool with a process-lifetime memo
+/// cache (see the module docs).
+#[derive(Debug)]
+pub struct Runner {
+    workers: usize,
+    cache: Mutex<HashMap<String, Arc<RunResult>>>,
+    simulations: AtomicUsize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with the [`default_workers`] pool size.
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    /// A runner with an explicit pool size (≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            cache: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of actual simulations executed (memo hits excluded).
+    pub fn simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// Runs `jobs`, returning results in job order. Already-memoized jobs
+    /// (and duplicates within the batch) are simulated once.
+    pub fn run_all(&self, jobs: &[Job]) -> Vec<Arc<RunResult>> {
+        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        let mut missing: Vec<(&str, &Job)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("runner cache poisoned");
+            for (key, job) in keys.iter().zip(jobs) {
+                if !cache.contains_key(key) && !missing.iter().any(|(k, _)| k == key) {
+                    missing.push((key, job));
+                }
+            }
+        }
+        // The cache lock is NOT held while simulating: nested run_all
+        // calls from job code would deadlock, and memo readers shouldn't
+        // wait on a long batch.
+        let fresh = parallel_map(&missing, self.workers, |(_, job)| {
+            eprintln!(
+                "  [run] {} on {} ({})",
+                job.kernel,
+                job.input.label(),
+                job.engine.label()
+            );
+            self.simulations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(job.run())
+        });
+        let mut cache = self.cache.lock().expect("runner cache poisoned");
+        for ((key, _), result) in missing.iter().zip(fresh) {
+            cache.insert((*key).to_owned(), result);
+        }
+        keys.iter()
+            .map(|k| Arc::clone(cache.get(k).expect("every job key resolved")))
+            .collect()
+    }
+
+    /// Runs a single job (through the same memo cache).
+    pub fn run(&self, job: &Job) -> Arc<RunResult> {
+        self.run_all(std::slice::from_ref(job))
+            .pop()
+            .expect("one job in, one result out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> Vec<Job> {
+        // A tiny uniform input keeps these full-system simulations fast.
+        let input = InputSpec::Uniform {
+            rows: 256,
+            cols: 2048,
+            nnz_per_row: 4,
+            seed: 9,
+        };
+        vec![
+            Job::new("SpMV", input, EngineVariant::BaselineSve),
+            Job::new("SpMV", input, EngineVariant::BaselineScalar),
+            Job::new("SpMV", input, EngineVariant::Tmu),
+            Job::new("SpMV", input, EngineVariant::SingleLane),
+            Job::new("SpMV", input, EngineVariant::Imp),
+        ]
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            parallel_map(&Vec::<u64>::new(), 8, |&x| x),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        // Two independent runners with parallel pools must produce
+        // identical rows for the same jobs — worker scheduling cannot be
+        // allowed to leak into results.
+        let jobs = small_grid();
+        let a = Runner::with_workers(4).run_all(&jobs);
+        let b = Runner::with_workers(2).run_all(&jobs);
+        for ((ra, rb), job) in a.iter().zip(&b).zip(&jobs) {
+            assert_eq!(ra, rb, "nondeterministic result for {}", job.key());
+        }
+        // The variants genuinely differ from each other.
+        assert_ne!(a[0].stats.cycles, a[2].stats.cycles);
+        assert!(a[2].outq.iter().map(|o| o.entries).sum::<u64>() > 0);
+        assert!(a[0].outq.is_empty());
+    }
+
+    #[test]
+    fn memo_cache_coalesces_shared_jobs() {
+        // fig10 and fig11 iterate the same (baseline, tmu) pairs: the
+        // second batch — and duplicates within one batch — must not
+        // re-simulate.
+        let jobs = small_grid();
+        let runner = Runner::with_workers(4);
+        let first = runner.run_all(&jobs);
+        assert_eq!(runner.simulations(), jobs.len());
+        let mut again = jobs.clone();
+        again.extend(jobs.iter().cloned());
+        let second = runner.run_all(&again);
+        assert_eq!(
+            runner.simulations(),
+            jobs.len(),
+            "memoized batch must not simulate"
+        );
+        assert_eq!(&second[..jobs.len()], &first[..]);
+        // A genuinely new configuration does simulate.
+        runner.run(&jobs[0].clone().with_sys(configs::neoverse_n1_with_sve(256)));
+        assert_eq!(runner.simulations(), jobs.len() + 1);
+    }
+
+    #[test]
+    fn baseline_key_ignores_tmu_config() {
+        let jobs = small_grid();
+        let base = &jobs[0];
+        let retuned = base.clone().with_tmu(TmuConfig::paper().single_lane());
+        assert_eq!(base.key(), retuned.key(), "baselines ignore the TMU config");
+        let tmu = &jobs[2];
+        let tmu_retuned = tmu.clone().with_tmu(TmuConfig::paper().single_lane());
+        assert_ne!(tmu.key(), tmu_retuned.key());
+    }
+}

@@ -68,8 +68,16 @@ mod tests {
     fn paper_config_reproduces_rtl_numbers() {
         let report = area(&TmuConfig::paper());
         // §6: 0.0704 mm² total, 0.0080 mm²/lane, 1.52 % of an N1 core.
-        assert!((report.lane_mm2 - 0.0080).abs() < 1e-6, "{}", report.lane_mm2);
-        assert!((report.total_mm2 - 0.0704).abs() < 1e-6, "{}", report.total_mm2);
+        assert!(
+            (report.lane_mm2 - 0.0080).abs() < 1e-6,
+            "{}",
+            report.lane_mm2
+        );
+        assert!(
+            (report.total_mm2 - 0.0704).abs() < 1e-6,
+            "{}",
+            report.total_mm2
+        );
         assert!(
             (report.percent_of_n1_core - 1.52).abs() < 0.005,
             "{}",

@@ -36,7 +36,12 @@ pub struct ContextSnapshot {
 
 impl ContextSnapshot {
     /// Captures a snapshot of a quiesced engine.
-    pub fn save(config: TmuConfig, program: &Program, steps_completed: u64, entries_produced: u64) -> Self {
+    pub fn save(
+        config: TmuConfig,
+        program: &Program,
+        steps_completed: u64,
+        entries_produced: u64,
+    ) -> Self {
         Self {
             config,
             program: program.clone(),

@@ -87,9 +87,9 @@ impl MemImage {
     ///
     /// Panics if the address is unbound or misaligned.
     pub fn read_index(&self, addr: u64) -> i64 {
-        let b = self.find(addr).unwrap_or_else(|| {
-            panic!("unbound TMU read at {addr:#x}")
-        });
+        let b = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"));
         let off = addr - b.base;
         assert_eq!(off % b.elem, 0, "misaligned index read at {addr:#x}");
         let i = (off / b.elem) as usize;
@@ -105,9 +105,9 @@ impl MemImage {
     ///
     /// Panics if the address is unbound or misaligned.
     pub fn read_bits(&self, addr: u64) -> u64 {
-        let b = self.find(addr).unwrap_or_else(|| {
-            panic!("unbound TMU read at {addr:#x}")
-        });
+        let b = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"));
         let off = addr - b.base;
         assert_eq!(off % b.elem, 0, "misaligned value read at {addr:#x}");
         let i = (off / b.elem) as usize;

@@ -186,8 +186,8 @@ impl Interp {
                     vals[si] = (a * (vals[*of] as i64) + b) as u64;
                 }
                 StreamDef::Map { table, of } => {
-                    vals[si] = table[(vals[*of] as i64).rem_euclid(table.len() as i64) as usize]
-                        as u64;
+                    vals[si] =
+                        table[(vals[*of] as i64).rem_euclid(table.len() as i64) as usize] as u64;
                 }
                 StreamDef::Ldr { base, elem, of } => {
                     vals[si] = (*base as i64 + (vals[*of] as i64) * *elem as i64) as u64;
@@ -548,11 +548,7 @@ pub fn run_functional(prog: &Arc<Program>, image: &Arc<MemImage>) -> Vec<OutQEnt
 }
 
 /// Runs a program to completion, handing each outQ entry to `f`.
-pub fn for_each_entry(
-    prog: &Arc<Program>,
-    image: &Arc<MemImage>,
-    mut f: impl FnMut(&OutQEntry),
-) {
+pub fn for_each_entry(prog: &Arc<Program>, image: &Arc<MemImage>, mut f: impl FnMut(&OutQEntry)) {
     let mut interp = Interp::new(Arc::clone(prog), Arc::clone(image));
     while let Some(step) = interp.next_step() {
         for e in &step.entries {
@@ -652,10 +648,7 @@ mod tests {
         let vec_op = bld.vec_operand(l1, &vecv);
         bld.callback(l1, Event::Ite, 0, &[nnz_op, vec_op]);
         bld.callback(l1, Event::End, 1, &[]);
-        (
-            Arc::new(bld.build().expect("well-formed")),
-            Arc::new(image),
-        )
+        (Arc::new(bld.build().expect("well-formed")), Arc::new(image))
     }
 
     #[test]
@@ -722,10 +715,7 @@ mod tests {
             .filter(|ld| ld.layer == 1 && !ld.deps.is_empty())
             .collect();
         assert!(!chained.is_empty());
-        let with_three_deps = loads
-            .iter()
-            .filter(|ld| ld.deps.len() >= 3)
-            .count();
+        let with_three_deps = loads.iter().filter(|ld| ld.deps.len() >= 3).count();
         assert!(
             with_three_deps > 0,
             "b[idx] loads carry bounds + index deps"
@@ -870,10 +860,7 @@ mod tests {
         let prog = Arc::new(bld.build().expect("well-formed"));
 
         let entries = run_functional(&prog, &Arc::new(image));
-        let got: Vec<f64> = entries
-            .iter()
-            .map(|e| e.operands[0].as_f64s()[0])
-            .collect();
+        let got: Vec<f64> = entries.iter().map(|e| e.operands[0].as_f64s()[0]).collect();
         assert_eq!(got, vec![4.0, 5.0, 6.0], "Keep must follow lane 1 only");
     }
 

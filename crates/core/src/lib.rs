@@ -74,4 +74,4 @@ pub use program::{
     ProgramBuilder, ProgramError, StreamDef, StreamRef, StreamTy, TraversalDef, TuDef, TuId,
 };
 pub use steps::{ElemId, MemLoad, Operand, OutQEntry, Step, StepKind};
-pub use timing::{CallbackHandler, ChunkStat, OutQStats, TmuAccelerator};
+pub use timing::{CallbackHandler, ChunkStat, OutQSnapshot, OutQStats, TmuAccelerator};

@@ -528,7 +528,14 @@ impl ProgramBuilder {
             of.layer == tu.layer && of.lane == tu.lane,
             "lin source must be local to the TU"
         );
-        self.push_stream(tu, StreamDef::Lin { a, b, of: of.stream })
+        self.push_stream(
+            tu,
+            StreamDef::Lin {
+                a,
+                b,
+                of: of.stream,
+            },
+        )
     }
 
     /// `map`: small lookup table.
@@ -537,7 +544,13 @@ impl ProgramBuilder {
             of.layer == tu.layer && of.lane == tu.lane,
             "map source must be local to the TU"
         );
-        self.push_stream(tu, StreamDef::Map { table, of: of.stream })
+        self.push_stream(
+            tu,
+            StreamDef::Map {
+                table,
+                of: of.stream,
+            },
+        )
     }
 
     /// `ldr`: address generation `&base[x]`.
@@ -546,7 +559,14 @@ impl ProgramBuilder {
             of.layer == tu.layer && of.lane == tu.lane,
             "ldr source must be local to the TU"
         );
-        self.push_stream(tu, StreamDef::Ldr { base, elem, of: of.stream })
+        self.push_stream(
+            tu,
+            StreamDef::Ldr {
+                base,
+                elem,
+                of: of.stream,
+            },
+        )
     }
 
     /// `fwd`: replicates a parent-layer stream into this TU.
@@ -638,10 +658,8 @@ impl ProgramBuilder {
                 }
                 for s in &tu.streams {
                     match s {
-                        StreamDef::Map { table, .. } => {
-                            if table.len() > 16 {
-                                return Err(ProgramError::MapTooLarge);
-                            }
+                        StreamDef::Map { table, .. } if table.len() > 16 => {
+                            return Err(ProgramError::MapTooLarge);
                         }
                         StreamDef::Fwd { from } => {
                             if from.layer + 1 != li {
@@ -740,7 +758,10 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]

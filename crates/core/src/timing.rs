@@ -64,7 +64,31 @@ pub struct OutQStats {
     pub backpressure_cycles: u64,
 }
 
+/// Compact, chunk-free summary of an [`OutQStats`] — the form serialized
+/// into `results/bench.json` rows (the per-chunk vector is unbounded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OutQSnapshot {
+    /// Total entries marshaled.
+    pub entries: u64,
+    /// Number of sealed chunks.
+    pub chunks: u64,
+    /// Cycles the engine spent stalled on the double-buffer gate.
+    pub backpressure_cycles: u64,
+    /// The Figure 13 read-to-write ratio (0 when no complete chunks).
+    pub read_to_write_ratio: f64,
+}
+
 impl OutQStats {
+    /// Summarizes into the fixed-size [`OutQSnapshot`] record.
+    pub fn snapshot(&self) -> OutQSnapshot {
+        OutQSnapshot {
+            entries: self.entries,
+            chunks: self.chunks.len() as u64,
+            backpressure_cycles: self.backpressure_cycles,
+            read_to_write_ratio: self.read_to_write_ratio(),
+        }
+    }
+
     /// The read-to-write ratio of §7.1: core read time over TMU write
     /// time, averaged over all complete chunks. Below one means the core
     /// outpaces the engine.
@@ -372,7 +396,10 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
             // Double-buffer gate: entries may only enter chunk c when the
             // core has acked chunk c-2.
             if !step.entries.is_empty() && self.chunk_id >= self.acked + 2 {
-                self.stats.lock().expect("stats poisoned").backpressure_cycles += 1;
+                self.stats
+                    .lock()
+                    .expect("stats poisoned")
+                    .backpressure_cycles += 1;
                 break;
             }
             let gates_ready = step
@@ -431,19 +458,28 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
 
     fn seal_chunk(&mut self, now: u64, core: usize, mem: &mut MemSys) {
         let visible = mem.accel_write(core, self.entry_addr(), 8, now);
-        self.vm
-            .emit(Site(0), OpKind::ChunkEnd { chunk: self.chunk_id }, Deps::NONE);
+        self.vm.emit(
+            Site(0),
+            OpKind::ChunkEnd {
+                chunk: self.chunk_id,
+            },
+            Deps::NONE,
+        );
         let mut ops = self.vm.take();
         for op in &mut ops {
             op.visible_at = visible;
         }
         self.host_ops.extend(ops);
-        self.stats.lock().expect("stats poisoned").chunks.push(ChunkStat {
-            open: self.chunk_open,
-            ready: visible,
-            ack: 0,
-            entries: self.chunk_entries,
-        });
+        self.stats
+            .lock()
+            .expect("stats poisoned")
+            .chunks
+            .push(ChunkStat {
+                open: self.chunk_open,
+                ready: visible,
+                ack: 0,
+                entries: self.chunk_entries,
+            });
         self.chunk_id += 1;
         self.chunk_entries = 0;
         self.chunk_bytes = 0;
@@ -481,9 +517,7 @@ impl<H: CallbackHandler> Accelerator for TmuAccelerator<H> {
 mod tests {
     use super::*;
     use crate::program::{Event, LayerMode, ProgramBuilder, StreamTy};
-    use tmu_sim::{
-        configs, AddressMap, CoreConfig, MemSysConfig, System, SystemConfig,
-    };
+    use tmu_sim::{configs, AddressMap, CoreConfig, MemSysConfig, System, SystemConfig};
 
     /// SpMV P1 handler: Figure 6 callbacks.
     struct SpmvHandler {
@@ -507,7 +541,12 @@ mod tests {
                 1 => {
                     self.x.push(self.sum);
                     self.sum = 0.0;
-                    let st = m.store(Site(100), 0x7000_0000 + self.x.len() as u64 * 8, 8, Deps::from(self.sum_dep));
+                    let st = m.store(
+                        Site(100),
+                        0x7000_0000 + self.x.len() as u64 * 8,
+                        8,
+                        Deps::from(self.sum_dep),
+                    );
                     let _ = st;
                     self.sum_dep = OpId::NONE;
                 }
@@ -516,9 +555,7 @@ mod tests {
         }
     }
 
-    fn spmv_accel(
-        lanes: usize,
-    ) -> (TmuAccelerator<SpmvHandler>, Vec<f64>) {
+    fn spmv_accel(lanes: usize) -> (TmuAccelerator<SpmvHandler>, Vec<f64>) {
         // A small random CSR matrix and vector with a known reference.
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);

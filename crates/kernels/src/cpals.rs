@@ -14,9 +14,7 @@
 //! the Gauss-Seidel variant while keeping the bound memory image static.
 
 use tmu::TmuConfig;
-use tmu_sim::{
-    ChannelMachine, Deps, Machine, RunStats, Site, System, SystemConfig,
-};
+use tmu_sim::{ChannelMachine, Deps, Machine, RunStats, Site, System, SystemConfig};
 use tmu_tensor::{CooTensor, Idx};
 
 use crate::data::partition_flat;
@@ -84,13 +82,22 @@ impl CpAls {
                             let mut r = 0;
                             while r < RANK {
                                 let n = (RANK - r).min(vl);
-                                let ld =
-                                    m.vec_load(Site(S_GRAM_LD), 0x10_000 + (r * 8) as u64, (n * 8) as u32, Deps::NONE);
+                                let ld = m.vec_load(
+                                    Site(S_GRAM_LD),
+                                    0x10_000 + (r * 8) as u64,
+                                    (n * 8) as u32,
+                                    Deps::NONE,
+                                );
                                 let mut acc = ld;
                                 for _ in 0..RANK / n.max(1) {
                                     acc = m.vec_op((2 * n) as u32, Deps::from(acc));
                                 }
-                                m.store(Site(S_GRAM_ST), 0x20_000 + (r * 8) as u64, (n * 8) as u32, Deps::from(acc));
+                                m.store(
+                                    Site(S_GRAM_ST),
+                                    0x20_000 + (r * 8) as u64,
+                                    (n * 8) as u32,
+                                    Deps::from(acc),
+                                );
                                 r += n;
                                 m.branch(Site(S_SOLVE_BR), r < RANK, Deps::NONE);
                             }

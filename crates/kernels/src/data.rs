@@ -308,7 +308,10 @@ mod tests {
         let sim = CsrOnSim::bind(&mut map, &mut image, "a", &m);
         assert_eq!(sim.nnz(), m.nnz());
         // The image must read back the same values.
-        assert_eq!(image.read_index(sim.ptrs_r.u32_at(1)), m.row_ptrs()[1] as i64);
+        assert_eq!(
+            image.read_index(sim.ptrs_r.u32_at(1)),
+            m.row_ptrs()[1] as i64
+        );
         let v = f64::from_bits(image.read_bits(sim.vals_r.f64_at(0)));
         assert_eq!(v, m.vals()[0]);
     }
@@ -325,9 +328,7 @@ mod tests {
             assert_eq!(w[0].1, w[1].0);
         }
         // Reasonably balanced in nnz (within 3× of ideal for skewed input).
-        let nnz_of = |(a, b): (usize, usize)| {
-            (m.row_ptrs()[b] - m.row_ptrs()[a]) as usize
-        };
+        let nnz_of = |(a, b): (usize, usize)| (m.row_ptrs()[b] - m.row_ptrs()[a]) as usize;
         let ideal = m.nnz() / 8;
         let max = parts.iter().map(|&p| nnz_of(p)).max().expect("non-empty");
         assert!(max < 3 * ideal + 64, "max shard {max} vs ideal {ideal}");

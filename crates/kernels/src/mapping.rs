@@ -40,8 +40,10 @@ pub struct ProgramFeatures {
 
 /// Extracts the feature set of a built program.
 pub fn features(p: &Program) -> ProgramFeatures {
-    let mut f = ProgramFeatures::default();
-    f.layers = p.layers().len();
+    let mut f = ProgramFeatures {
+        layers: p.layers().len(),
+        ..Default::default()
+    };
     for layer in p.layers() {
         if !f.modes.contains(&layer.mode) {
             f.modes.push(layer.mode);
@@ -88,22 +90,102 @@ pub struct Table4Row {
 
 /// The sixteen rows of Table 4.
 pub const TABLE4: [Table4Row; 16] = [
-    Table4Row { algorithm: "SpMV P0", einsum: "Z_i = A_ij B_j", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "SpMV P1", einsum: "Z_i = A_ij B_j", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "SpMSpV", einsum: "Z_i = A_ij B_j", formats: "A,B=CSR", implemented: true },
-    Table4Row { algorithm: "SpMM P0", einsum: "Z_ij = A_ik B_kj", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "SpMM P1", einsum: "Z_ij = A_ik B_kj", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "SpMM P2", einsum: "Z_ij = A_ik B_kj", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "SpMSpM P0", einsum: "Z_ij = A_ik B_kj", formats: "A,B,X=CSR", implemented: true },
-    Table4Row { algorithm: "SpMSpM P2", einsum: "Z_ij = A_ik B_kj", formats: "A,B,X=CSR", implemented: true },
-    Table4Row { algorithm: "SpKAdd", einsum: "Z_ij = Σ_k A^k_ij", formats: "A^k,X=DCSR", implemented: true },
-    Table4Row { algorithm: "PageRank", einsum: "Z_i = A_ij X_j Y_i", formats: "A=CSR", implemented: true },
-    Table4Row { algorithm: "TriangleCount", einsum: "c = L_ik L^T_ki L_ij", formats: "L=CSR", implemented: true },
-    Table4Row { algorithm: "MTTKRP P1", einsum: "Z_ij = A_ikl B_kj C_lj", formats: "A=COO", implemented: true },
-    Table4Row { algorithm: "MTTKRP P2", einsum: "Z_ij = A_ikl B_kj C_lj", formats: "A=COO", implemented: true },
-    Table4Row { algorithm: "SpTC", einsum: "Z_ij = A_ikl B_lkj", formats: "A,B=CSF", implemented: true },
-    Table4Row { algorithm: "SpTTV", einsum: "Z_ij = A_ijk B_k", formats: "A=CSF", implemented: true },
-    Table4Row { algorithm: "SpTTM", einsum: "Z_ijl = A_ijl B_lk", formats: "A=CSF", implemented: true },
+    Table4Row {
+        algorithm: "SpMV P0",
+        einsum: "Z_i = A_ij B_j",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMV P1",
+        einsum: "Z_i = A_ij B_j",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMSpV",
+        einsum: "Z_i = A_ij B_j",
+        formats: "A,B=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMM P0",
+        einsum: "Z_ij = A_ik B_kj",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMM P1",
+        einsum: "Z_ij = A_ik B_kj",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMM P2",
+        einsum: "Z_ij = A_ik B_kj",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMSpM P0",
+        einsum: "Z_ij = A_ik B_kj",
+        formats: "A,B,X=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpMSpM P2",
+        einsum: "Z_ij = A_ik B_kj",
+        formats: "A,B,X=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpKAdd",
+        einsum: "Z_ij = Σ_k A^k_ij",
+        formats: "A^k,X=DCSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "PageRank",
+        einsum: "Z_i = A_ij X_j Y_i",
+        formats: "A=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "TriangleCount",
+        einsum: "c = L_ik L^T_ki L_ij",
+        formats: "L=CSR",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "MTTKRP P1",
+        einsum: "Z_ij = A_ikl B_kj C_lj",
+        formats: "A=COO",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "MTTKRP P2",
+        einsum: "Z_ij = A_ikl B_kj C_lj",
+        formats: "A=COO",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpTC",
+        einsum: "Z_ij = A_ikl B_lkj",
+        formats: "A,B=CSF",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpTTV",
+        einsum: "Z_ij = A_ijk B_k",
+        formats: "A=CSF",
+        implemented: true,
+    },
+    Table4Row {
+        algorithm: "SpTTM",
+        einsum: "Z_ijl = A_ijl B_lk",
+        formats: "A=CSF",
+        implemented: true,
+    },
 ];
 
 #[cfg(test)]
@@ -116,36 +198,39 @@ mod tests {
     fn all_programs() -> Vec<(&'static str, Program)> {
         let a = gen::uniform(64, 64, 4, 1);
         let t3 = gen::random_tensor(&[16, 8, 8], 200, 2);
-        let mut out = Vec::new();
-        out.push(("SpMV", spmv::Spmv::new(&a).build_program((0, 64), 8)));
-        out.push(("SpMSpV", spmspv::Spmspv::new(&a, 0.2).build_program((0, 64))));
-        out.push(("SpMM", spmm::Spmm::new(&a).build_program((0, 64), 8)));
-        out.push(("SpMSpM", spmspm::Spmspm::new(&a).build_program((0, 64), 8)));
-        out.push((
-            "SpKAdd",
-            spkadd::Spkadd::new(&gen::uniform(64, 32, 3, 4)).build_program((0, 8), 8),
-        ));
-        out.push((
-            "PageRank",
-            crate::pagerank::PageRank::new(&a).build_program((0, 64), 8),
-        ));
-        out.push((
-            "TC",
-            trianglecount::TriangleCount::new(&a).build_program((0, 64)),
-        ));
-        out.push((
-            "MTTKRP_MP",
-            mttkrp::Mttkrp::new(&t3, mttkrp::MttkrpVariant::Mp).build_program((0, 200), 8),
-        ));
-        out.push((
-            "MTTKRP_CP",
-            mttkrp::Mttkrp::new(&t3, mttkrp::MttkrpVariant::Cp).build_program((0, 200), 8),
-        ));
         let b3 = gen::random_tensor(&[8, 8, 12], 200, 3);
-        out.push(("SpTC", sptc::Sptc::new(&t3, &b3).build_program((0, 4))));
-        out.push(("SpTTV", spttv::Spttv::new(&t3).build_program((0, 4), 8)));
-        out.push(("SpTTM", spttm::Spttm::new(&t3).build_program((0, 4), 8)));
-        out
+        vec![
+            ("SpMV", spmv::Spmv::new(&a).build_program((0, 64), 8)),
+            (
+                "SpMSpV",
+                spmspv::Spmspv::new(&a, 0.2).build_program((0, 64)),
+            ),
+            ("SpMM", spmm::Spmm::new(&a).build_program((0, 64), 8)),
+            ("SpMSpM", spmspm::Spmspm::new(&a).build_program((0, 64), 8)),
+            (
+                "SpKAdd",
+                spkadd::Spkadd::new(&gen::uniform(64, 32, 3, 4)).build_program((0, 8), 8),
+            ),
+            (
+                "PageRank",
+                crate::pagerank::PageRank::new(&a).build_program((0, 64), 8),
+            ),
+            (
+                "TC",
+                trianglecount::TriangleCount::new(&a).build_program((0, 64)),
+            ),
+            (
+                "MTTKRP_MP",
+                mttkrp::Mttkrp::new(&t3, mttkrp::MttkrpVariant::Mp).build_program((0, 200), 8),
+            ),
+            (
+                "MTTKRP_CP",
+                mttkrp::Mttkrp::new(&t3, mttkrp::MttkrpVariant::Cp).build_program((0, 200), 8),
+            ),
+            ("SpTC", sptc::Sptc::new(&t3, &b3).build_program((0, 4))),
+            ("SpTTV", spttv::Spttv::new(&t3).build_program((0, 4), 8)),
+            ("SpTTM", spttm::Spttm::new(&t3).build_program((0, 4), 8)),
+        ]
     }
 
     #[test]
@@ -198,7 +283,10 @@ mod tests {
     fn deep_nests_are_supported() {
         let progs = all_programs();
         let max_layers = progs.iter().map(|(_, p)| features(p).layers).max().unwrap();
-        assert!(max_layers >= 5, "SpTC uses a 5-layer nest, got {max_layers}");
+        assert!(
+            max_layers >= 5,
+            "SpTC uses a 5-layer nest, got {max_layers}"
+        );
     }
 
     #[test]

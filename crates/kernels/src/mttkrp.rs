@@ -151,7 +151,9 @@ impl Mttkrp {
         let b = DenseOnSim::bind(&mut map, &mut image, "B", b_vals);
         let c = DenseOnSim::bind(&mut map, &mut image, "C", c_vals);
         let z_r = map.alloc_elems("Z", dim_i * RANK, 8);
-        let outq_r = (0..8).map(|cix| map.alloc(&format!("outq{cix}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|cix| map.alloc(&format!("outq{cix}"), 1 << 20))
+            .collect();
         let mut t2 = t;
         t2.idxs_r[2] = l_r; // fused l replaces the raw third mode
         Self {
@@ -290,12 +292,17 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, (p0, p1): (usize, us
         let k = ctx.idx_k[p] as usize;
         let l = ctx.idx_l[p] as usize;
         // Flush the accumulated output row when `i` changes.
-        if cur_i.is_some() && cur_i != Some(i) {
-            let iprev = cur_i.expect("checked") as usize;
+        if let Some(iprev) = cur_i.filter(|&prev| prev != i) {
+            let iprev = iprev as usize;
             let mut r = 0;
             while r < RANK {
                 let n = (RANK - r).min(vl);
-                m.store(Site(S_ZSTORE), ctx.z_r.f64_at(iprev * RANK + r), (n * 8) as u32, Deps::NONE);
+                m.store(
+                    Site(S_ZSTORE),
+                    ctx.z_r.f64_at(iprev * RANK + r),
+                    (n * 8) as u32,
+                    Deps::NONE,
+                );
                 r += n;
             }
         }
@@ -303,8 +310,18 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, (p0, p1): (usize, us
         let mut r = 0;
         while r < RANK {
             let n = (RANK - r).min(vl);
-            let bl = m.vec_load(Site(S_BROW), ctx.b_r.f64_at(k * RANK + r), (n * 8) as u32, Deps::from(kld));
-            let cl = m.vec_load(Site(S_CROW), ctx.c_r.f64_at(l * RANK + r), (n * 8) as u32, Deps::from(lld));
+            let bl = m.vec_load(
+                Site(S_BROW),
+                ctx.b_r.f64_at(k * RANK + r),
+                (n * 8) as u32,
+                Deps::from(kld),
+            );
+            let cl = m.vec_load(
+                Site(S_CROW),
+                ctx.c_r.f64_at(l * RANK + r),
+                (n * 8) as u32,
+                Deps::from(lld),
+            );
             // acc[r..] += v · B · C : two vector FMAs (3 flops/element).
             let mul = m.vec_op((2 * n) as u32, Deps::on(&[bl, cl, vld]));
             m.vec_op(n as u32, Deps::on(&[mul, ild]));
@@ -317,7 +334,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, (p0, p1): (usize, us
         let mut r = 0;
         while r < RANK {
             let n = (RANK - r).min(vl);
-            m.store(Site(S_ZSTORE), ctx.z_r.f64_at(i as usize * RANK + r), (n * 8) as u32, Deps::NONE);
+            m.store(
+                Site(S_ZSTORE),
+                ctx.z_r.f64_at(i as usize * RANK + r),
+                (n * 8) as u32,
+                Deps::NONE,
+            );
             r += n;
         }
     }
@@ -371,7 +393,8 @@ impl MttkrpHandler {
                 );
                 r += n;
             }
-            self.rows.push((i, std::mem::replace(&mut self.acc, vec![0.0; RANK])));
+            self.rows
+                .push((i, std::mem::replace(&mut self.acc, vec![0.0; RANK])));
         }
     }
 }
@@ -415,7 +438,12 @@ impl CallbackHandler for MttkrpHandler {
                     if entry.mask & (1 << lane) == 0 {
                         continue;
                     }
-                    let (i, k, l, v) = (is[lane] as u32, ks[lane] as usize, ls[lane] as usize, vs[lane]);
+                    let (i, k, l, v) = (
+                        is[lane] as u32,
+                        ks[lane] as usize,
+                        ls[lane] as usize,
+                        vs[lane],
+                    );
                     if self.cur_i != Some(i) {
                         self.flush(m);
                         self.cur_i = Some(i);

@@ -93,14 +93,13 @@ impl PageRank {
         let contrib_r = map.alloc_elems("contrib", n.max(1), 8);
         image.bind_f64(contrib_r, Arc::clone(&contrib_arc));
         let out_r = map.alloc_elems("out", n.max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         let base = (1.0 - DAMPING) / n as f64;
         let reference: Vec<f64> = (0..n)
             .map(|i| {
-                let sum: f64 = adj_mat
-                    .row(i)
-                    .map(|(j, _)| contrib_arc[j as usize])
-                    .sum();
+                let sum: f64 = adj_mat.row(i).map(|(j, _)| contrib_arc[j as usize]).sum();
                 base + DAMPING * sum
             })
             .collect();
@@ -175,10 +174,25 @@ impl PageRank {
                         let mut j = j0;
                         while j < j1 {
                             let n = (j1 - j).min(vl);
-                            let r = m.vec_load(Site(S_RANK), ctx.rank_r.f64_at(j), (n * 8) as u32, Deps::NONE);
-                            let d = m.vec_load(Site(S_DEG), ctx.deg_r.f64_at(j), (n * 8) as u32, Deps::NONE);
+                            let r = m.vec_load(
+                                Site(S_RANK),
+                                ctx.rank_r.f64_at(j),
+                                (n * 8) as u32,
+                                Deps::NONE,
+                            );
+                            let d = m.vec_load(
+                                Site(S_DEG),
+                                ctx.deg_r.f64_at(j),
+                                (n * 8) as u32,
+                                Deps::NONE,
+                            );
                             let div = m.vec_op(n as u32, Deps::on(&[r, d]));
-                            m.store(Site(S_CONTRIB_ST), ctx.contrib_r.f64_at(j), (n * 8) as u32, Deps::from(div));
+                            m.store(
+                                Site(S_CONTRIB_ST),
+                                ctx.contrib_r.f64_at(j),
+                                (n * 8) as u32,
+                                Deps::from(div),
+                            );
                             j += n;
                             m.branch(Site(S_DENSE_BR), j < j1, Deps::NONE);
                         }
@@ -282,7 +296,12 @@ impl CallbackHandler for PageRankHandler {
                 self.out.push(base + DAMPING * self.sum);
                 self.sum = 0.0;
                 let fin = m.fp_op(2, Deps::from(self.sum_dep));
-                m.store(Site(S_STORE), self.out_r.f64_at(self.next_row), 8, Deps::from(fin));
+                m.store(
+                    Site(S_STORE),
+                    self.out_r.f64_at(self.next_row),
+                    8,
+                    Deps::from(fin),
+                );
                 self.next_row += 1;
                 self.sum_dep = OpId::NONE;
             }
@@ -388,7 +407,7 @@ mod tests {
     fn ranks_stay_a_distribution() {
         let w = PageRank::new(&gen::rmat(8, 2048, 3));
         // A PageRank step preserves non-negativity and boundedness.
-        assert!(w.reference().iter().all(|&r| r >= 0.0 && r <= 1.0));
+        assert!(w.reference().iter().all(|&r| (0.0..=1.0).contains(&r)));
     }
 
     #[test]

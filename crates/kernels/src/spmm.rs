@@ -80,7 +80,9 @@ impl Spmm {
         let a = CsrOnSim::bind(&mut map, &mut image, "a", a_mat);
         let b = DenseOnSim::bind(&mut map, &mut image, "B", b_vals);
         let z_r = map.alloc_elems("Z", (a_mat.rows() * RANK).max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             a,
             b,
@@ -176,7 +178,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, rows: (usize, usize)
         let mut r = 0;
         while r < RANK {
             let n = (RANK - r).min(vl);
-            m.store(Site(S_STORE), ctx.z_r.f64_at(i * RANK + r), (n * 8) as u32, Deps::NONE);
+            m.store(
+                Site(S_STORE),
+                ctx.z_r.f64_at(i * RANK + r),
+                (n * 8) as u32,
+                Deps::NONE,
+            );
             r += n;
         }
         m.branch(Site(S_I_BR), i + 1 < r1, Deps::NONE);
@@ -239,7 +246,8 @@ impl CallbackHandler for SpmmHandler {
                     );
                     r += n;
                 }
-                self.z.extend(std::mem::replace(&mut self.acc, vec![0.0; RANK]));
+                self.z
+                    .extend(std::mem::replace(&mut self.acc, vec![0.0; RANK]));
                 self.next_row += 1;
             }
             other => panic!("SpMM: unexpected callback {other}"),

@@ -91,7 +91,9 @@ impl Spmspm {
         // One accumulator workspace per core (8 cores max).
         let acc_r = map.alloc_elems("acc", 8 * a_mat.cols().max(1), 8);
         let z_r = map.alloc_elems("z", reference.nnz().max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         let z_offsets = Arc::new(reference.row_ptrs().to_vec());
         Self {
             a,
@@ -192,7 +194,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, rows: (usize, usize)
             let avld = m.load(Site(S_AVAL), ctx.a_vals_r.f64_at(p), 8, bounds);
             let kk = ctx.a_idxs[p] as usize;
             let bp0 = m.load(Site(S_BPTR), ctx.b_ptrs_r.u32_at(kk), 4, Deps::from(kld));
-            let bp1 = m.load(Site(S_BPTR), ctx.b_ptrs_r.u32_at(kk + 1), 4, Deps::from(kld));
+            let bp1 = m.load(
+                Site(S_BPTR),
+                ctx.b_ptrs_r.u32_at(kk + 1),
+                4,
+                Deps::from(kld),
+            );
             let (bbeg, bend) = (ctx.b_ptrs[kk] as usize, ctx.b_ptrs[kk + 1] as usize);
             let mut q = bbeg;
             while q < bend {
@@ -275,7 +282,13 @@ pub struct SpmspmHandler {
 impl SpmspmHandler {
     /// Handler for rows starting at `first_row`, with `cols` workspace
     /// columns.
-    pub fn new(acc_r: Region, z_r: Region, z_offsets: Arc<Vec<u32>>, first_row: usize, cols: usize) -> Self {
+    pub fn new(
+        acc_r: Region,
+        z_r: Region,
+        z_offsets: Arc<Vec<u32>>,
+        first_row: usize,
+        cols: usize,
+    ) -> Self {
         Self {
             acc_r,
             z_r,
@@ -401,15 +414,17 @@ impl Workload for Spmspm {
         let vl = cfg.core.sve_lanes();
         let ctx = self.ctx();
         let mut sys = System::new(cfg);
-        Some(sys.run_with_imp(
-            shards
-                .into_iter()
-                .map(|range| {
-                    let ctx = ctx.clone();
-                    move |m: &mut ChannelMachine| emit_baseline(m, &ctx, range, vl)
-                })
-                .collect(),
-        ))
+        Some(
+            sys.run_with_imp(
+                shards
+                    .into_iter()
+                    .map(|range| {
+                        let ctx = ctx.clone();
+                        move |m: &mut ChannelMachine| emit_baseline(m, &ctx, range, vl)
+                    })
+                    .collect(),
+            ),
+        )
     }
 
     fn run_tmu(&self, cfg: SystemConfig, tmu: TmuConfig) -> TmuRun {
@@ -468,14 +483,7 @@ impl Workload for Spmspm {
             z.extend(handler.z);
             z_cols.extend(handler.z_cols);
         }
-        if z_cols
-            != self
-                .reference
-                .col_idxs()
-                .iter()
-                .copied()
-                .collect::<Vec<u32>>()
-        {
+        if z_cols != self.reference.col_idxs().to_vec() {
             return Err("SpMSpM: output structure mismatch".to_owned());
         }
         check_close("SpMSpM", &z, self.reference.vals(), 1e-9)
@@ -526,7 +534,9 @@ mod tests {
 
     #[test]
     fn verify_against_reference() {
-        workload().verify().expect("TMU SpMSpM must match reference");
+        workload()
+            .verify()
+            .expect("TMU SpMSpM must match reference");
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl Spmspv {
         let cols = a_mat.cols();
         let stride = (1.0 / density.clamp(0.001, 1.0)) as usize;
         let b_idx: Vec<u32> = (0..cols).step_by(stride.max(1)).map(|j| j as u32).collect();
-        let b_val: Vec<f64> = b_idx.iter().map(|&j| 0.5 + (j % 67) as f64 / 67.0).collect();
+        let b_val: Vec<f64> = b_idx
+            .iter()
+            .map(|&j| 0.5 + (j % 67) as f64 / 67.0)
+            .collect();
         let dense_b: std::collections::HashMap<u32, f64> =
             b_idx.iter().copied().zip(b_val.iter().copied()).collect();
         let reference: Vec<f64> = (0..a_mat.rows())
@@ -90,7 +93,9 @@ impl Spmspv {
         image.bind_u32(b_idxs_r, Arc::clone(&b_idxs));
         image.bind_f64(b_vals_r, Arc::clone(&b_vals));
         let z_r = map.alloc_elems("z", a_mat.rows().max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             a,
             b_idxs,
@@ -163,7 +168,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, rows: (usize, usize)
         let endb = ctx.b_idxs.len();
         let mut sum = OpId::NONE;
         while a < enda && b < endb {
-            let ha = m.load(Site(S_AHEAD), ctx.a_idxs_r.u32_at(a), 4, Deps::on(&[p0, p1]));
+            let ha = m.load(
+                Site(S_AHEAD),
+                ctx.a_idxs_r.u32_at(a),
+                4,
+                Deps::on(&[p0, p1]),
+            );
             let hb = m.load(Site(S_BHEAD), ctx.b_idxs_r.u32_at(b), 4, Deps::NONE);
             let ka = ctx.a_idxs[a];
             let kb = ctx.b_idxs[b];
@@ -221,7 +231,12 @@ impl CallbackHandler for SpmspvHandler {
             CB_ROW_END => {
                 self.z.push(self.sum);
                 self.sum = 0.0;
-                m.store(Site(S_STORE), self.z_r.f64_at(self.next_row), 8, Deps::from(self.sum_dep));
+                m.store(
+                    Site(S_STORE),
+                    self.z_r.f64_at(self.next_row),
+                    8,
+                    Deps::from(self.sum_dep),
+                );
                 self.next_row += 1;
                 self.sum_dep = OpId::NONE;
             }
@@ -320,7 +335,10 @@ mod tests {
         let a = gen::uniform(32, 64, 4, 5);
         let w = Spmspv::new(&a, 1.0);
         let nonzero_rows = w.reference().iter().filter(|&&v| v != 0.0).count();
-        assert_eq!(nonzero_rows, (0..32).filter(|&i| a.row(i).count() > 0).count());
+        assert_eq!(
+            nonzero_rows,
+            (0..32).filter(|&i| a.row(i).count() > 0).count()
+        );
         w.verify().expect("dense-vector case verifies");
     }
 

@@ -74,7 +74,9 @@ impl Spmv {
             .collect();
         let b = DenseOnSim::bind(&mut map, &mut image, "b", bvec);
         let x_r = map.alloc_elems("x", a.rows().max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         let reference = reference(a, &b.data);
         Self {
             sim,
@@ -230,7 +232,10 @@ impl CallbackHandler for SpmvP0Handler {
                 }
                 // Per-lane FMA into a vector accumulator: no cross-lane
                 // reduction needed in this scheme.
-                self.dep = m.vec_op(2 * entry.mask.count_ones(), Deps::on(&[entry_load, self.dep]));
+                self.dep = m.vec_op(
+                    2 * entry.mask.count_ones(),
+                    Deps::on(&[entry_load, self.dep]),
+                );
             }
             CB_RE => {
                 // The group of `lanes` rows is complete: store them all.
@@ -382,15 +387,17 @@ impl Workload for Spmv {
         let vl = cfg.core.sve_lanes();
         let ctx = self.ctx();
         let mut sys = System::new(cfg);
-        Some(sys.run_with_imp(
-            shards
-                .into_iter()
-                .map(|range| {
-                    let ctx = ctx.clone();
-                    move |m: &mut ChannelMachine| emit_baseline(m, &ctx, range, vl)
-                })
-                .collect(),
-        ))
+        Some(
+            sys.run_with_imp(
+                shards
+                    .into_iter()
+                    .map(|range| {
+                        let ctx = ctx.clone();
+                        move |m: &mut ChannelMachine| emit_baseline(m, &ctx, range, vl)
+                    })
+                    .collect(),
+            ),
+        )
     }
 
     fn run_tmu(&self, cfg: SystemConfig, tmu: TmuConfig) -> TmuRun {

@@ -157,7 +157,9 @@ impl Sptc {
         image.bind_u32(b_jidx_r, Arc::clone(&b_jidx));
         // Per-core output bitmaps (one row's worth of u64 words each).
         let bitmap_r = map.alloc_elems("bitmap", 8 * dim_j.div_ceil(64).max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             a,
             b_lptr,
@@ -279,21 +281,51 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, roots: (usize, usize
         let r1 = m.load(Site(S_APTR), ctx.a_ptr0_r.u32_at(n + 1), 4, Deps::NONE);
         let (kb, ke) = (ctx.a_ptr0[n] as usize, ctx.a_ptr0[n + 1] as usize);
         for kn in kb..ke {
-            let kld = m.load(Site(S_AKIDX), ctx.a_idx1_r.u32_at(kn), 4, Deps::on(&[r0, r1]));
-            let q0 = m.load(Site(S_APTR), ctx.a_ptr1_r.u32_at(kn), 4, Deps::on(&[r0, r1]));
-            let q1 = m.load(Site(S_APTR), ctx.a_ptr1_r.u32_at(kn + 1), 4, Deps::on(&[r0, r1]));
+            let kld = m.load(
+                Site(S_AKIDX),
+                ctx.a_idx1_r.u32_at(kn),
+                4,
+                Deps::on(&[r0, r1]),
+            );
+            let q0 = m.load(
+                Site(S_APTR),
+                ctx.a_ptr1_r.u32_at(kn),
+                4,
+                Deps::on(&[r0, r1]),
+            );
+            let q1 = m.load(
+                Site(S_APTR),
+                ctx.a_ptr1_r.u32_at(kn + 1),
+                4,
+                Deps::on(&[r0, r1]),
+            );
             let k = ctx.a_idx1[kn];
             let (lb, le) = (ctx.a_ptr1[kn] as usize, ctx.a_ptr1[kn + 1] as usize);
             for ln in lb..le {
-                let lld = m.load(Site(S_ALIDX), ctx.a_idx2_r.u32_at(ln), 4, Deps::on(&[q0, q1]));
+                let lld = m.load(
+                    Site(S_ALIDX),
+                    ctx.a_idx2_r.u32_at(ln),
+                    4,
+                    Deps::on(&[q0, q1]),
+                );
                 let l = ctx.a_idx2[ln] as usize;
                 let bl0 = m.load(Site(S_BLPTR), ctx.b_lptr_r.u32_at(l), 4, Deps::from(lld));
-                let bl1 = m.load(Site(S_BLPTR), ctx.b_lptr_r.u32_at(l + 1), 4, Deps::from(lld));
+                let bl1 = m.load(
+                    Site(S_BLPTR),
+                    ctx.b_lptr_r.u32_at(l + 1),
+                    4,
+                    Deps::from(lld),
+                );
                 // Scan B(l)'s k fiber for k (merge-style, branch per step).
                 let (mut s, se) = (ctx.b_lptr[l] as usize, ctx.b_lptr[l + 1] as usize);
                 let mut matched = None;
                 while s < se {
-                    let bkld = m.load(Site(S_BKIDX), ctx.b_kidx_r.u32_at(s), 4, Deps::on(&[bl0, bl1]));
+                    let bkld = m.load(
+                        Site(S_BKIDX),
+                        ctx.b_kidx_r.u32_at(s),
+                        4,
+                        Deps::on(&[bl0, bl1]),
+                    );
                     let bk = ctx.b_kidx[s];
                     m.branch(Site(S_SCAN_BR), bk < k, Deps::on(&[bkld, kld]));
                     if bk == k {
@@ -310,7 +342,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, roots: (usize, usize
                     let j1 = m.load(Site(S_BKPTR), ctx.b_kptr_r.u32_at(kn_b + 1), 4, Deps::NONE);
                     let (jb, je) = (ctx.b_kptr[kn_b] as usize, ctx.b_kptr[kn_b + 1] as usize);
                     for jp in jb..je {
-                        let jld = m.load(Site(S_BJIDX), ctx.b_jidx_r.u32_at(jp), 4, Deps::on(&[j0, j1]));
+                        let jld = m.load(
+                            Site(S_BJIDX),
+                            ctx.b_jidx_r.u32_at(jp),
+                            4,
+                            Deps::on(&[j0, j1]),
+                        );
                         let j = ctx.b_jidx[jp] as usize;
                         let word = j / 64;
                         // Bitmap insert: load word, or, store.

@@ -88,7 +88,9 @@ impl Spttm {
         let t = CsfOnSim::bind(&mut map, &mut image, "t", &csf);
         let b = DenseOnSim::bind(&mut map, &mut image, "B", b_vals);
         let z_r = map.alloc_elems("z", (csf.num_nodes(1) * RANK).max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             t,
             b,
@@ -176,7 +178,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, roots: (usize, usize
         let (jb, je) = (ctx.ptr0[n] as usize, ctx.ptr0[n + 1] as usize);
         for jn in jb..je {
             let q0 = m.load(Site(S_JPTR), ctx.ptr1_r.u32_at(jn), 4, Deps::on(&[r0, r1]));
-            let q1 = m.load(Site(S_JPTR), ctx.ptr1_r.u32_at(jn + 1), 4, Deps::on(&[r0, r1]));
+            let q1 = m.load(
+                Site(S_JPTR),
+                ctx.ptr1_r.u32_at(jn + 1),
+                4,
+                Deps::on(&[r0, r1]),
+            );
             let (lb, le) = (ctx.ptr1[jn] as usize, ctx.ptr1[jn + 1] as usize);
             for p in lb..le {
                 let bounds = Deps::on(&[q0, q1]);
@@ -271,7 +278,8 @@ impl CallbackHandler for SpttmHandler {
                     );
                     r += n;
                 }
-                self.z.extend(std::mem::replace(&mut self.acc, vec![0.0; RANK]));
+                self.z
+                    .extend(std::mem::replace(&mut self.acc, vec![0.0; RANK]));
                 self.next_fiber += 1;
             }
             other => panic!("SpTTM: unexpected callback {other}"),

@@ -80,7 +80,9 @@ impl Spttv {
         let t = CsfOnSim::bind(&mut map, &mut image, "t", &csf);
         let b = DenseOnSim::bind(&mut map, &mut image, "b", b_vals);
         let z_r = map.alloc_elems("z", csf.num_nodes(1).max(1), 8);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             t,
             b,
@@ -157,7 +159,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, roots: (usize, usize
         let (jb, je) = (ctx.ptr0[n] as usize, ctx.ptr0[n + 1] as usize);
         for jn in jb..je {
             let q0 = m.load(Site(S_JPTR), ctx.ptr1_r.u32_at(jn), 4, Deps::on(&[r0, r1]));
-            let q1 = m.load(Site(S_JPTR), ctx.ptr1_r.u32_at(jn + 1), 4, Deps::on(&[r0, r1]));
+            let q1 = m.load(
+                Site(S_JPTR),
+                ctx.ptr1_r.u32_at(jn + 1),
+                4,
+                Deps::on(&[r0, r1]),
+            );
             let (kb, ke) = (ctx.ptr1[jn] as usize, ctx.ptr1[jn + 1] as usize);
             let mut sum = OpId::NONE;
             let mut p = kb;
@@ -335,9 +342,6 @@ mod tests {
         let base = w.run_baseline(cfg);
         let run = w.run_tmu(cfg, TmuConfig::paper());
         assert!(base.cycles > 0 && run.stats.cycles > 0);
-        assert_eq!(
-            run.outq.iter().map(|o| o.entries).sum::<u64>() as usize >= w.reference.len(),
-            true
-        );
+        assert!(run.outq.iter().map(|o| o.entries).sum::<u64>() as usize >= w.reference.len());
     }
 }

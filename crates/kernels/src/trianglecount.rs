@@ -76,7 +76,9 @@ impl TriangleCount {
         let mut map = AddressMap::new();
         let mut image = MemImage::new();
         let l = CsrOnSim::bind(&mut map, &mut image, "L", &l_mat);
-        let outq_r = (0..8).map(|c| map.alloc(&format!("outq{c}"), 1 << 20)).collect();
+        let outq_r = (0..8)
+            .map(|c| map.alloc(&format!("outq{c}"), 1 << 20))
+            .collect();
         Self {
             l,
             outq_r,
@@ -152,7 +154,12 @@ fn emit_baseline<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, rows: (usize, usize)
             // data-dependent branches.
             while a < enda && bq < endb {
                 let ha = m.load(Site(S_AHEAD), ctx.idxs_r.u32_at(a), 4, Deps::NONE);
-                let hb = m.load(Site(S_BHEAD), ctx.idxs_r.u32_at(bq), 4, Deps::on(&[jp0, jp1]));
+                let hb = m.load(
+                    Site(S_BHEAD),
+                    ctx.idxs_r.u32_at(bq),
+                    4,
+                    Deps::on(&[jp0, jp1]),
+                );
                 let ka = ctx.idxs[a];
                 let kb = ctx.idxs[bq];
                 m.branch(Site(S_CMP), ka < kb, Deps::on(&[ha, hb]));
@@ -311,9 +318,7 @@ mod tests {
                 }
             }
         }
-        let adj = CsrMatrix::from_coo(
-            &CooMatrix::from_triplets(4, 4, triplets).expect("in range"),
-        );
+        let adj = CsrMatrix::from_coo(&CooMatrix::from_triplets(4, 4, triplets).expect("in range"));
         let w = TriangleCount::new(&adj);
         assert_eq!(w.reference(), 4);
         w.verify().expect("clique verifies");

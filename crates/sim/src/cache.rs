@@ -110,9 +110,12 @@ pub struct Cache {
     pub mshrs: MshrPool,
     /// Demand hits.
     pub hits: u64,
-    /// Demand misses (excluding in-flight merges).
+    /// Primary demand misses (each issued a new fetch).
     pub misses: u64,
-    /// Misses merged into an in-flight fetch of the same line.
+    /// Secondary misses: accesses that merged into an in-flight fetch of
+    /// the same line. One per probing access — the core issues each memory
+    /// op's access exactly once, so this counts distinct requesters, never
+    /// re-probes by the same request.
     pub merged: u64,
     /// Dirty lines evicted (writeback traffic).
     pub writebacks: u64,
@@ -273,13 +276,16 @@ impl Cache {
         }
     }
 
-    /// Demand miss ratio over the cache's lifetime.
+    /// Demand miss ratio over the cache's lifetime: primary misses over
+    /// all accesses. Merged accesses reuse an in-flight fetch rather than
+    /// issuing a new one, so they count in the denominator only — adding
+    /// them to the numerator would double-count each fetched line.
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits + self.misses + self.merged;
         if total == 0 {
             0.0
         } else {
-            (self.misses + self.merged) as f64 / total as f64
+            self.misses as f64 / total as f64
         }
     }
 }
@@ -340,6 +346,26 @@ mod tests {
         // After completion the record is stale; fill clears it.
         c.fill(0x40, false);
         assert_eq!(c.probe(0x40, 101), Probe::Hit);
+    }
+
+    #[test]
+    fn miss_rate_counts_each_fetch_once() {
+        // One primary miss plus three distinct accesses merging into the
+        // same in-flight fetch: the line is fetched once, so the miss rate
+        // must report 1 miss out of 4 accesses — merges stay out of the
+        // numerator (they previously double-counted the fetch).
+        let mut c = tiny();
+        assert_eq!(c.probe(0x40, 0), Probe::Miss);
+        c.mark_inflight(0x40, 100);
+        c.fill(0x40, false);
+        for t in [1, 2, 3] {
+            assert_eq!(c.probe(0x40, t), Probe::InFlight(100));
+        }
+        assert_eq!((c.hits, c.misses, c.merged), (0, 1, 3));
+        assert!((c.miss_rate() - 0.25).abs() < 1e-12);
+        // Once the fill has landed and the fetch completed, accesses hit.
+        assert_eq!(c.probe(0x40, 150), Probe::Hit);
+        assert!((c.miss_rate() - 0.2).abs() < 1e-12);
     }
 
     #[test]

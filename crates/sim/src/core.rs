@@ -296,7 +296,7 @@ impl Core {
     /// cycle the next slot frees if the queue is at capacity.
     fn queue_gate(heap: &mut BinaryHeap<std::cmp::Reverse<u64>>, cap: usize, t: u64) -> u64 {
         while let Some(&std::cmp::Reverse(done)) = heap.peek() {
-            if done <= t && heap.len() >= 1 {
+            if done <= t && !heap.is_empty() {
                 heap.pop();
             } else {
                 break;
@@ -311,7 +311,13 @@ impl Core {
 
     /// Advances the core by one cycle. Committed chunk markers are pushed
     /// into `acks`. Returns the number of ops committed this cycle.
-    pub fn tick(&mut self, now: u64, source: &mut dyn OpSource, mem: &mut MemSys, acks: &mut Vec<u32>) -> usize {
+    pub fn tick(
+        &mut self,
+        now: u64,
+        source: &mut dyn OpSource,
+        mem: &mut MemSys,
+        acks: &mut Vec<u32>,
+    ) -> usize {
         // ---- Commit ----
         let mut committed = 0;
         while committed < self.cfg.commit_width {
@@ -391,9 +397,7 @@ impl Core {
             }
             OpKind::Load { .. } | OpKind::VecLoad { .. } => {
                 let (addr, bytes) = match op.kind {
-                    OpKind::Load { addr, bytes } | OpKind::VecLoad { addr, bytes } => {
-                        (addr, bytes)
-                    }
+                    OpKind::Load { addr, bytes } | OpKind::VecLoad { addr, bytes } => (addr, bytes),
                     _ => unreachable!(),
                 };
                 let gated = Self::queue_gate(&mut self.lq, cfg.lq, exec_start).max(exec_start);

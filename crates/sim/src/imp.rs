@@ -95,7 +95,12 @@ mod tests {
         let mut m = VecMachine::new();
         for i in 0..16u64 {
             let idx = m.load(Site(1), 0x1000 + i * 4, 4, Deps::NONE);
-            m.load(Site(2), 0x100_000 + (i * 7919 % 4096) * 8, 8, Deps::from(idx));
+            m.load(
+                Site(2),
+                0x100_000 + (i * 7919 % 4096) * 8,
+                8,
+                Deps::from(idx),
+            );
         }
         for op in m.take() {
             imp.observe(&op, 0, 0, &mut mem);

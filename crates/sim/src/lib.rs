@@ -62,5 +62,5 @@ pub use memsys::{MemSys, MemSysConfig};
 pub use noc::Mesh;
 pub use op::{Deps, Op, OpId, OpKind, Site};
 pub use prefetch::{BestOffsetPrefetcher, StridePrefetcher};
-pub use stats::{Roofline, RooflinePoint, RunStats};
+pub use stats::{CacheLevelStats, MemStats, Roofline, RooflinePoint, RunStats};
 pub use system::{ChannelMachine, SkipHint, System, SystemConfig, CYCLE_LIMIT};

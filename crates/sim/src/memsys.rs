@@ -18,6 +18,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::noc::Mesh;
 use crate::op::Site;
 use crate::prefetch::{BestOffsetPrefetcher, StridePrefetcher};
+use crate::stats::MemStats;
 
 /// Configuration of the full memory system.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -365,6 +366,26 @@ impl MemSys {
     pub fn accel_outstanding(&self, core: usize, t: u64) -> usize {
         self.accel_pool[core].busy_at(t)
     }
+
+    /// Aggregates the hierarchy's counters (summed over cache instances)
+    /// into one [`MemStats`] record.
+    pub fn stats(&self) -> MemStats {
+        let mut s = MemStats::default();
+        for c in self.l1.iter() {
+            s.l1.absorb(c.hits, c.misses, c.merged, c.writebacks);
+        }
+        for c in self.l2.iter() {
+            s.l2.absorb(c.hits, c.misses, c.merged, c.writebacks);
+        }
+        for c in self.llc.iter() {
+            s.llc.absorb(c.hits, c.misses, c.merged, c.writebacks);
+        }
+        s.dram_lines_read = self.dram.lines_read;
+        s.dram_lines_written = self.dram.lines_written;
+        s.dram_row_hits = self.dram.row_hits;
+        s.dram_row_misses = self.dram.row_misses;
+        s
+    }
 }
 
 #[cfg(test)]
@@ -402,7 +423,10 @@ mod tests {
         );
         // Re-reading moves it up and invalidates the LLC copy.
         m.read(0, Site(1), addr, 8, 1_000_000);
-        assert!(!m.llc[slice].contains(addr), "LLC hit must move the line up");
+        assert!(
+            !m.llc[slice].contains(addr),
+            "LLC hit must move the line up"
+        );
     }
 
     #[test]
@@ -416,7 +440,10 @@ mod tests {
         let t0 = m.read(0, Site(1), 0x100_000, 8, 0);
         let t1 = m.read(0, Site(2), 0x200_000, 8, 0);
         let t2 = m.read(0, Site(3), 0x300_000, 8, 0);
-        assert!(t2 >= t0.min(t1), "third miss cannot finish before a slot frees");
+        assert!(
+            t2 >= t0.min(t1),
+            "third miss cannot finish before a slot frees"
+        );
         assert!(m.l1[0].mshrs.full_events >= 1);
     }
 

@@ -96,7 +96,7 @@ mod tests {
         let mesh = Mesh::mesh4x4(8, 8);
         for c in 0..8 {
             let avg = mesh.avg_round_trip(c);
-            assert!(avg >= 4 && avg <= 24, "core {c}: avg {avg}");
+            assert!((4..=24).contains(&avg), "core {c}: avg {avg}");
         }
     }
 }

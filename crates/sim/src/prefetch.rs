@@ -214,7 +214,7 @@ mod tests {
         let mut pf = BestOffsetPrefetcher::new();
         let mut out = Vec::new();
         for _ in 0..600 {
-            let line: u64 = rng.gen_range(0..1_000_000) * CACHELINE;
+            let line: u64 = rng.gen_range(0u64..1_000_000) * CACHELINE;
             pf.observe(line, &mut out);
         }
         // Random streams must not sustain a learned offset for long.

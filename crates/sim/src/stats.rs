@@ -2,6 +2,61 @@
 
 use crate::core::CoreStats;
 
+/// Aggregate counters of one cache level (summed over all instances of
+/// that level: per-core L1s/L2s, LLC slices).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheLevelStats {
+    /// Accesses served from resident lines.
+    pub hits: u64,
+    /// Primary misses (a new fetch was issued).
+    pub misses: u64,
+    /// Secondary misses merged into an already in-flight fetch.
+    pub merged: u64,
+    /// Dirty lines evicted (writeback traffic).
+    pub writebacks: u64,
+}
+
+impl CacheLevelStats {
+    /// Adds one cache instance's counters into this aggregate.
+    pub fn absorb(&mut self, hits: u64, misses: u64, merged: u64, writebacks: u64) {
+        self.hits += hits;
+        self.misses += misses;
+        self.merged += merged;
+        self.writebacks += writebacks;
+    }
+
+    /// Fraction of accesses that issued a new fetch (merged accesses reuse
+    /// an in-flight one, so they count in the denominator only).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.merged;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Memory-hierarchy counters of one run (the cache/DRAM columns of the
+/// `results/bench.json` rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemStats {
+    /// All private L1Ds combined.
+    pub l1: CacheLevelStats,
+    /// All private L2s combined.
+    pub l2: CacheLevelStats,
+    /// All LLC slices combined.
+    pub llc: CacheLevelStats,
+    /// Cachelines read from DRAM.
+    pub dram_lines_read: u64,
+    /// Cachelines written to DRAM.
+    pub dram_lines_written: u64,
+    /// DRAM accesses that hit an open row buffer.
+    pub dram_row_hits: u64,
+    /// DRAM accesses that opened a new row.
+    pub dram_row_misses: u64,
+}
+
 /// Statistics of one complete simulated run.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunStats {
@@ -15,6 +70,8 @@ pub struct RunStats {
     pub dram_row_hit_rate: f64,
     /// Clock frequency in GHz.
     pub freq_ghz: f64,
+    /// Cache and DRAM counters.
+    pub mem: MemStats,
 }
 
 impl RunStats {
@@ -133,15 +190,18 @@ mod tests {
     use super::*;
 
     fn sample() -> RunStats {
-        let mut core = CoreStats::default();
-        core.flops = 2_400_000;
-        core.cycles = 1_000_000;
+        let core = CoreStats {
+            flops: 2_400_000,
+            cycles: 1_000_000,
+            ..Default::default()
+        };
         RunStats {
             cycles: 1_000_000,
             cores: vec![core],
             dram_bytes: 4_800_000,
             dram_row_hit_rate: 0.5,
             freq_ghz: 2.4,
+            mem: MemStats::default(),
         }
     }
 
@@ -163,6 +223,16 @@ mod tests {
         assert_eq!(r.attainable(0.1), 15.0);
         assert_eq!(r.attainable(100.0), r.peak_gflops);
         assert!((r.ridge() - 2.048).abs() < 0.01);
+    }
+
+    #[test]
+    fn cache_level_miss_rate_excludes_merges() {
+        let mut l = CacheLevelStats::default();
+        l.absorb(6, 2, 2, 1);
+        // 2 primary misses out of 10 accesses; the 2 merged accesses rode
+        // an in-flight fetch and must not count as new misses.
+        assert!((l.miss_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(CacheLevelStats::default().miss_rate(), 0.0);
     }
 
     #[test]

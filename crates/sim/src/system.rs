@@ -245,7 +245,8 @@ impl System {
             accels.len() <= self.cores.len(),
             "more accelerators than cores"
         );
-        let mut sources: Vec<AccelSource> = (0..accels.len()).map(|_| AccelSource::default()).collect();
+        let mut sources: Vec<AccelSource> =
+            (0..accels.len()).map(|_| AccelSource::default()).collect();
         let mut now: u64 = 0;
         let mut acks: Vec<u32> = Vec::new();
         let mut scratch: Vec<Op> = Vec::new();
@@ -416,6 +417,7 @@ impl System {
                 dram.row_hits as f64 / row_total as f64
             },
             freq_ghz: self.cfg.core.freq_ghz,
+            mem: self.mem.stats(),
         }
     }
 }
@@ -518,7 +520,12 @@ mod tests {
         let shard = |c: usize| {
             move |m: &mut ChannelMachine| {
                 for i in 0..50_000u64 {
-                    m.load(Site(1), (c as u64 + 1) * 0x1_000_000 + i * 64, 8, Deps::NONE);
+                    m.load(
+                        Site(1),
+                        (c as u64 + 1) * 0x1_000_000 + i * 64,
+                        8,
+                        Deps::NONE,
+                    );
                 }
             }
         };

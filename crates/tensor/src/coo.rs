@@ -299,19 +299,15 @@ mod tests {
 
     #[test]
     fn tensor_duplicates_summed() {
-        let t = CooTensor::from_entries(
-            vec![2, 2],
-            vec![(vec![1, 1], 1.0), (vec![1, 1], 4.0)],
-        )
-        .expect("valid");
+        let t = CooTensor::from_entries(vec![2, 2], vec![(vec![1, 1], 1.0), (vec![1, 1], 4.0)])
+            .expect("valid");
         assert_eq!(t.nnz(), 1);
         assert_eq!(t.vals(), &[5.0]);
     }
 
     #[test]
     fn tensor_rank_mismatch_rejected() {
-        let err =
-            CooTensor::from_entries(vec![2, 2], vec![(vec![0], 1.0)]).unwrap_err();
+        let err = CooTensor::from_entries(vec![2, 2], vec![(vec![0], 1.0)]).unwrap_err();
         assert!(matches!(err, FormatError::RankMismatch { .. }));
     }
 }

@@ -172,7 +172,8 @@ impl CsfTensor {
 
     /// Total storage in index words across all levels.
     pub fn index_words(&self) -> usize {
-        self.ptrs.iter().map(Vec::len).sum::<usize>() + self.idxs.iter().map(Vec::len).sum::<usize>()
+        self.ptrs.iter().map(Vec::len).sum::<usize>()
+            + self.idxs.iter().map(Vec::len).sum::<usize>()
     }
 }
 

@@ -109,8 +109,8 @@ impl DcsrMatrix {
                 triplets.push((r, *c, *v));
             }
         }
-        let coo = CooMatrix::from_triplets(self.rows, self.cols, triplets)
-            .expect("DCSR invariants hold");
+        let coo =
+            CooMatrix::from_triplets(self.rows, self.cols, triplets).expect("DCSR invariants hold");
         CsrMatrix::from_coo(&coo)
     }
 

@@ -13,9 +13,7 @@ pub struct DenseVector {
 impl DenseVector {
     /// Creates a zero-filled vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        Self {
-            data: vec![0.0; n],
-        }
+        Self { data: vec![0.0; n] }
     }
 
     /// Creates a vector from existing data.

@@ -57,7 +57,10 @@ impl fmt::Display for FormatError {
                 write!(f, "coordinates not sorted at position {position}")
             }
             FormatError::RankMismatch { expected, actual } => {
-                write!(f, "coordinate rank {actual} does not match tensor order {expected}")
+                write!(
+                    f,
+                    "coordinate rank {actual} does not match tensor order {expected}"
+                )
             }
         }
     }

@@ -153,7 +153,7 @@ pub fn circuit(rows: usize, avg_deg: usize, seed: u64) -> CsrMatrix {
     for r in 0..rows {
         let mut taken = std::collections::BTreeSet::new();
         taken.insert(r as Idx); // diagonal (device self-term)
-        // Local couplings.
+                                // Local couplings.
         for _ in 0..avg_deg.saturating_sub(2) {
             let off = rng.gen_range(-24i64..=24);
             let c = (r as i64 + off).clamp(0, rows as i64 - 1) as Idx;
@@ -401,11 +401,7 @@ impl ScaledInput {
                 self.seed,
             ),
             // LBNL-network: 2K × 4K × 2K × 4K, 2M nnz.
-            InputId::T2 => random_tensor(
-                &[1_605, 4_198, 1_631, 4_198],
-                self.sz(62_000),
-                self.seed,
-            ),
+            InputId::T2 => random_tensor(&[1_605, 4_198, 1_631, 4_198], self.sz(62_000), self.seed),
             // NIPS pubs: 3K × 3K × 14K × 17, 3M nnz.
             InputId::T3 => random_tensor(
                 &[2_482, 2_862, self.sz(14_036).min(14_036), 17],
@@ -413,11 +409,7 @@ impl ScaledInput {
                 self.seed,
             ),
             // Uber pickups: 183 × 24 × 1140 × 1717, 3M nnz.
-            InputId::T4 => random_tensor(
-                &[183, 24, 1_140, 1_717],
-                self.sz(103_000),
-                self.seed,
-            ),
+            InputId::T4 => random_tensor(&[183, 24, 1_140, 1_717], self.sz(103_000), self.seed),
             other => panic!("input {other:?} is a matrix, not a tensor"),
         }
     }
@@ -459,7 +451,7 @@ mod tests {
         let m = stencil7(6, 6, 6, 1);
         assert_eq!(m.rows(), 216);
         // Interior points have exactly 7 entries.
-        let interior = (1 * 6 + 1) * 6 + 1;
+        let interior = (6 + 1) * 6 + 1;
         assert_eq!(m.row(interior).count(), 7);
         // nnz/row averages just under 7.
         let avg = m.nnz() as f64 / m.rows() as f64;

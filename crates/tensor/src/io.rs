@@ -77,7 +77,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, IoError> {
         .and_then(|(n, l)| Ok((n, l?)))?;
     let head = header.to_ascii_lowercase();
     if !head.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(parse_err(1, "expected '%%MatrixMarket matrix coordinate …'"));
+        return Err(parse_err(
+            1,
+            "expected '%%MatrixMarket matrix coordinate …'",
+        ));
     }
     let pattern = head.contains("pattern");
     let symmetric = head.contains("symmetric");
@@ -193,7 +196,10 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, IoError> {
         match order {
             None => order = Some(this_order),
             Some(o) if o != this_order => {
-                return Err(parse_err(n + 1, format!("ragged entry: {this_order} vs {o} modes")))
+                return Err(parse_err(
+                    n + 1,
+                    format!("ragged entry: {this_order} vs {o} modes"),
+                ))
             }
             _ => {}
         }
@@ -255,7 +261,8 @@ mod tests {
 
     #[test]
     fn matrix_market_symmetric_expansion() {
-        let text = "%%MatrixMarket matrix coordinate real symmetric\n% c\n3 3 2\n2 1 5.0\n3 3 7.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n% c\n3 3 2\n2 1 5.0\n3 3 7.0\n";
         let m = read_matrix_market(text.as_bytes()).expect("read");
         assert_eq!(m.nnz(), 3); // (1,0), (0,1), (2,2)
         let d = m.to_dense();

@@ -58,7 +58,10 @@ impl FormatDescriptor {
 
     /// Descriptor for CSR: dense rows over compressed columns.
     pub fn csr(rows: usize) -> Self {
-        Self::new(vec![LevelFormat::Dense { size: rows }, LevelFormat::Compressed])
+        Self::new(vec![
+            LevelFormat::Dense { size: rows },
+            LevelFormat::Compressed,
+        ])
     }
 
     /// Descriptor for DCSR: both dimensions compressed.
@@ -78,7 +81,11 @@ impl FormatDescriptor {
 
     /// Descriptor for a fully dense tensor.
     pub fn dense(dims: &[usize]) -> Self {
-        Self::new(dims.iter().map(|&size| LevelFormat::Dense { size }).collect())
+        Self::new(
+            dims.iter()
+                .map(|&size| LevelFormat::Dense { size })
+                .collect(),
+        )
     }
 
     /// Number of levels whose traversal has data-dependent control flow —

@@ -293,11 +293,9 @@ mod tests {
     #[test]
     fn disjunctive_matches_figure2() {
         let (ai, av, bi, bv) = figure2();
-        let items: Vec<_> = DisjunctiveMerge::new(vec![
-            FiberSlice::new(&ai, &av),
-            FiberSlice::new(&bi, &bv),
-        ])
-        .collect();
+        let items: Vec<_> =
+            DisjunctiveMerge::new(vec![FiberSlice::new(&ai, &av), FiberSlice::new(&bi, &bv)])
+                .collect();
         // Paper's msk stream for Figure 2 merging: coordinates 0,2,3,5 with
         // masks 01, 11, 10, 11 (bit0 = fiber A, bit1 = fiber B).
         let coords: Vec<_> = items.iter().map(|i| i.coord).collect();
@@ -311,11 +309,9 @@ mod tests {
     #[test]
     fn conjunctive_matches_figure2() {
         let (ai, av, bi, bv) = figure2();
-        let items: Vec<_> = ConjunctiveMerge::new(vec![
-            FiberSlice::new(&ai, &av),
-            FiberSlice::new(&bi, &bv),
-        ])
-        .collect();
+        let items: Vec<_> =
+            ConjunctiveMerge::new(vec![FiberSlice::new(&ai, &av), FiberSlice::new(&bi, &bv)])
+                .collect();
         let coords: Vec<_> = items.iter().map(|i| i.coord).collect();
         assert_eq!(coords, vec![2, 5]);
         let prods: Vec<_> = items.iter().map(MergeItem::product).collect();
@@ -325,8 +321,7 @@ mod tests {
     #[test]
     fn disjunctive_single_fiber_is_identity() {
         let (ai, av, _, _) = figure2();
-        let items: Vec<_> =
-            DisjunctiveMerge::new(vec![FiberSlice::new(&ai, &av)]).collect();
+        let items: Vec<_> = DisjunctiveMerge::new(vec![FiberSlice::new(&ai, &av)]).collect();
         let coords: Vec<_> = items.iter().map(|i| i.coord).collect();
         assert_eq!(coords, ai);
         assert!(items.iter().all(|i| i.mask == 1));
@@ -368,10 +363,8 @@ mod tests {
         let v1 = vec![1.0, 2.0];
         let i2: Vec<Idx> = vec![1, 2, 4];
         let v2 = vec![10.0, 20.0, 30.0];
-        let (idxs, vals) = reduce_disjunctive(vec![
-            FiberSlice::new(&i1, &v1),
-            FiberSlice::new(&i2, &v2),
-        ]);
+        let (idxs, vals) =
+            reduce_disjunctive(vec![FiberSlice::new(&i1, &v1), FiberSlice::new(&i2, &v2)]);
         assert_eq!(idxs, vec![1, 2, 4]);
         assert_eq!(vals, vec![11.0, 20.0, 32.0]);
     }

@@ -20,11 +20,19 @@ fn main() {
     let w = Spmv::new(&a);
     let base = w.run_baseline(configs::neoverse_n1_system()).cycles;
 
-    println!("SpMV design-space sweep ({} nnz), speedup over the software baseline:", a.nnz());
-    println!("{:<18}{:>10}{:>12}{:>14}", "config", "speedup", "area(mm2)", "% of N1 core");
+    println!(
+        "SpMV design-space sweep ({} nnz), speedup over the software baseline:",
+        a.nnz()
+    );
+    println!(
+        "{:<18}{:>10}{:>12}{:>14}",
+        "config", "speedup", "area(mm2)", "% of N1 core"
+    );
     for sve in [128u32, 256, 512] {
         for kb in [4usize, 16] {
-            let tmu = TmuConfig::paper().for_sve_bits(sve).with_total_storage(kb << 10);
+            let tmu = TmuConfig::paper()
+                .for_sve_bits(sve)
+                .with_total_storage(kb << 10);
             let sys = configs::neoverse_n1_with_sve(sve);
             let run = w.run_tmu(sys, tmu);
             let ar = area(&tmu);

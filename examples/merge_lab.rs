@@ -11,8 +11,8 @@ use tmu_kernels::spkadd::Spkadd;
 use tmu_kernels::trianglecount::TriangleCount;
 use tmu_kernels::workload::Workload;
 use tmu_sim::configs;
-use tmu_tensor::merge::{ConjunctiveMerge, DisjunctiveMerge, FiberSlice};
 use tmu_tensor::gen;
+use tmu_tensor::merge::{ConjunctiveMerge, DisjunctiveMerge, FiberSlice};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -22,19 +22,15 @@ fn main() {
     let (ai, av) = (vec![0u32, 2, 5], vec![1.0, 2.0, 5.0]);
     let (bi, bv) = (vec![2u32, 3, 5], vec![3.0, 4.0, 6.0]);
     println!("fiber A: idx {ai:?}  fiber B: idx {bi:?}");
-    let dis: Vec<_> = DisjunctiveMerge::new(vec![
-        FiberSlice::new(&ai, &av),
-        FiberSlice::new(&bi, &bv),
-    ])
-    .map(|item| (item.coord, format!("{:02b}", item.mask), item.sum()))
-    .collect();
+    let dis: Vec<_> =
+        DisjunctiveMerge::new(vec![FiberSlice::new(&ai, &av), FiberSlice::new(&bi, &bv)])
+            .map(|item| (item.coord, format!("{:02b}", item.mask), item.sum()))
+            .collect();
     println!("  disjunctive (union):       {dis:?}");
-    let con: Vec<_> = ConjunctiveMerge::new(vec![
-        FiberSlice::new(&ai, &av),
-        FiberSlice::new(&bi, &bv),
-    ])
-    .map(|item| (item.coord, item.product()))
-    .collect();
+    let con: Vec<_> =
+        ConjunctiveMerge::new(vec![FiberSlice::new(&ai, &av), FiberSlice::new(&bi, &bv)])
+            .map(|item| (item.coord, item.product()))
+            .collect();
     println!("  conjunctive (intersection): {con:?}");
 
     let cfg = configs::neoverse_n1_system();

@@ -100,7 +100,12 @@ fn main() {
     let (bc, bf, bb) = base.breakdown();
     let (tc, tf, tb) = run.stats.breakdown();
     println!();
-    println!("SpMV on a {}x{} matrix ({} nnz), 8 simulated cores:", big.rows(), big.cols(), big.nnz());
+    println!(
+        "SpMV on a {}x{} matrix ({} nnz), 8 simulated cores:",
+        big.rows(),
+        big.cols(),
+        big.nnz()
+    );
     println!(
         "  baseline: {:>9} cycles  (commit {:.0}% / frontend {:.0}% / backend {:.0}%)  {:.1} GB/s",
         base.cycles,

@@ -63,8 +63,6 @@ fn main() {
         run.stats.cycles,
         base.cycles as f64 / run.stats.cycles as f64,
     );
-    println!(
-        "  (the dense Gram solves run on the core in both versions — partial-result"
-    );
+    println!("  (the dense Gram solves run on the core in both versions — partial-result");
     println!("   evaluation is exactly what standalone accelerators cannot interleave)");
 }

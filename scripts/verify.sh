@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, lints, and the tier-1 suite.
+# Run from the repo root. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + test =="
+cargo build --release
+cargo test -q
+
+echo "verify.sh: all gates passed"

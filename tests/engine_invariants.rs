@@ -5,23 +5,17 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use tmu::{
-    Event, Interp, LayerMode, MemImage, ProgramBuilder, StepKind, StreamTy,
-};
+use tmu::{Event, Interp, LayerMode, MemImage, ProgramBuilder, StepKind, StreamTy};
 use tmu_sim::AddressMap;
 use tmu_tensor::{CooMatrix, CsrMatrix};
 
 /// An arbitrary small CSR matrix.
 fn csr(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
-    proptest::collection::btree_map(
-        (0..rows as u32, 0..cols as u32),
-        0.25f64..4.0,
-        0..rows * 3,
-    )
-    .prop_map(move |m| {
-        let triplets = m.into_iter().map(|((r, c), v)| (r, c, v)).collect();
-        CsrMatrix::from_coo(&CooMatrix::from_triplets(rows, cols, triplets).expect("in range"))
-    })
+    proptest::collection::btree_map((0..rows as u32, 0..cols as u32), 0.25f64..4.0, 0..rows * 3)
+        .prop_map(move |m| {
+            let triplets = m.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+            CsrMatrix::from_coo(&CooMatrix::from_triplets(rows, cols, triplets).expect("in range"))
+        })
 }
 
 struct Fixture {

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use tmu::{Event, LayerMode, MemImage, ProgramBuilder, StreamTy, TmuConfig};
-use tmu_kernels::spmv::{Spmv, SpmvHandler};
+use tmu_kernels::spmv::Spmv;
 use tmu_kernels::workload::Workload;
 use tmu_sim::{configs, AddressMap, CoreConfig, MemSysConfig, System, SystemConfig};
 use tmu_tensor::{CooMatrix, CsrMatrix};

@@ -12,12 +12,13 @@ fn triplets() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
 }
 
 fn tensor_entries() -> impl Strategy<Value = Vec<(Vec<u32>, f64)>> {
-    proptest::collection::btree_map((0u32..12, 0u32..12, 0u32..12), 0.25f64..4.0, 0..120)
-        .prop_map(|m| {
+    proptest::collection::btree_map((0u32..12, 0u32..12, 0u32..12), 0.25f64..4.0, 0..120).prop_map(
+        |m| {
             m.into_iter()
                 .map(|((a, b, c), v)| (vec![a, b, c], v))
                 .collect()
-        })
+        },
+    )
 }
 
 proptest! {

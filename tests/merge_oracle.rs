@@ -11,10 +11,7 @@ use tmu_tensor::merge::{ConjunctiveMerge, DisjunctiveMerge, FiberSlice};
 
 /// Builds a k-lane single-layer merge program over the given fibers and
 /// returns the (coord, mask, per-lane values) triples it marshals.
-fn run_tmu_merge(
-    fibers: &[(Vec<u32>, Vec<f64>)],
-    conjunctive: bool,
-) -> Vec<(i64, u64, Vec<f64>)> {
+fn run_tmu_merge(fibers: &[(Vec<u32>, Vec<f64>)], conjunctive: bool) -> Vec<(i64, u64, Vec<f64>)> {
     let mut map = AddressMap::new();
     let mut image = MemImage::new();
     let mut regions = Vec::new();

@@ -38,7 +38,10 @@ fn table5_system_parameters() {
     let peak = cfg.mem.dram.peak_bytes_per_cycle() * cfg.core.freq_ghz;
     assert!((peak - 150.0).abs() < 1.0, "peak = {peak} GB/s");
     let tmu = TmuConfig::paper();
-    assert_eq!((tmu.lanes, tmu.per_lane_bytes, tmu.groups, tmu.outstanding), (8, 2048, 4, 128));
+    assert_eq!(
+        (tmu.lanes, tmu.per_lane_bytes, tmu.groups, tmu.outstanding),
+        (8, 2048, 4, 128)
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ fn tmu_removes_merge_work_from_the_core() {
     let base = w.run_baseline(two_cores());
     let run = w.run_tmu(two_cores(), TmuConfig::paper());
     assert!(run.stats.total().committed * 4 < base.total().committed);
-    assert!(run.stats.cycles * 2 < base.cycles, "TC speedup must exceed 2x");
+    assert!(
+        run.stats.cycles * 2 < base.cycles,
+        "TC speedup must exceed 2x"
+    );
 }
 
 #[test]
@@ -153,7 +159,8 @@ fn functional_results_are_lane_count_invariant() {
     let w = Spmv::new(&a);
     for lanes in [1, 2, 4, 8] {
         let mut got = Vec::new();
-        for &range in &[(0usize, 512usize)] {
+        {
+            let &range = &(0usize, 512usize);
             let prog = std::sync::Arc::new(w.build_program(range, lanes));
             let mut handler = tmu_kernels::spmv::SpmvHandler::new(w.x_region(), range.0);
             let mut vm = tmu_sim::VecMachine::new();

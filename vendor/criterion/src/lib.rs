@@ -1,0 +1,114 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps `cargo bench` working with no crates.io access: every
+//! `bench_function` runs its closure a handful of times and prints the
+//! mean wall time. No statistics, no reports, no comparison against
+//! saved baselines — benchmark numbers from this stub are smoke-level
+//! only.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Stub of `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does no warm-up phase.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores the target time.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Times `f` over `sample_size` iterations and prints the mean.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / b.iterations.max(1) as f64;
+        println!(
+            "bench {id:<40} {:>12.3} ms/iter (stub, {} iters)",
+            mean * 1e3,
+            b.iterations
+        );
+        self
+    }
+}
+
+/// Stub of `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, timing it.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink (stub of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Stub of `criterion_group!`: builds a function running every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Stub of `criterion_main!`: a `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

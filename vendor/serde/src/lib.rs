@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! Provides just enough API surface for this workspace to compile with
+//! no crates.io access: the `Serialize`/`Deserialize` marker traits and
+//! the matching stub derive macros. No actual (de)serialization happens
+//! through these traits — `results/bench.json` is written by the
+//! explicit JSON emitter in `tmu-bench` (`tmu_bench::json`).
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: no code in
+/// this workspace names the `'de` parameter).
+pub trait Deserialize {}

@@ -1,0 +1,73 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real crate generates full (de)serialization code; this stub only
+//! emits empty marker-trait impls so `#[derive(Serialize, Deserialize)]`
+//! compiles in an environment with no crates.io access. Actual JSON
+//! output in this repository is produced by explicit writers (see
+//! `tmu-bench`'s `json` module), not through these traits.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive was applied to.
+///
+/// Attribute bodies and doc comments live inside `Group` tokens, so the
+/// first top-level `struct`/`enum`/`union` keyword reliably precedes the
+/// type name.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Ident(name) => return name.to_string(),
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find a type name in the input");
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone());
+    // Generic types would need the generics repeated on the impl; the
+    // stub keeps to the concrete types this workspace actually derives.
+    let mut after_name = false;
+    for tt in input {
+        if after_name {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == '<' {
+                    return format!(
+                        "compile_error!(\"serde stub derive does not support generic type `{name}`\");"
+                    )
+                    .parse()
+                    .unwrap();
+                }
+            }
+            break;
+        }
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == name {
+                after_name = true;
+            }
+        }
+    }
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
