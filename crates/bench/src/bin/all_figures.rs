@@ -2,25 +2,57 @@
 //! run. Figures share one [`tmu_bench::runner::Runner`], whose memo cache
 //! coalesces the (baseline, TMU) pairs figures 10–13 and 15 have in
 //! common while the worker pool keeps every distinct job in flight.
-//! Reports land under `results/`, structured rows in `results/bench.json`.
+//! Reports land under `results/`, structured rows in `results/bench.json`,
+//! and a per-figure timing log in `results/all_figures.log`.
+
+use std::fmt::Write as _;
 
 fn main() {
     let t0 = std::time::Instant::now();
     let runner = tmu_bench::runner::Runner::new();
-    tmu_bench::figs::table06();
-    tmu_bench::figs::area_report();
-    tmu_bench::figs::verify_all();
-    tmu_bench::figs::fig03(&runner);
-    tmu_bench::figs::fig10(&runner);
-    tmu_bench::figs::fig11(&runner);
-    tmu_bench::figs::fig12(&runner);
-    tmu_bench::figs::fig13(&runner);
-    tmu_bench::figs::fig15(&runner);
-    tmu_bench::figs::fig14(&runner);
-    println!(
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "# all_figures run log (workers = {})",
+        runner.workers()
+    );
+    type FigureFn = fn(&tmu_bench::runner::Runner);
+    let figures: &[(&str, FigureFn)] = &[
+        ("table06", |_| tmu_bench::figs::table06()),
+        ("area", |_| tmu_bench::figs::area_report()),
+        ("verify", |_| tmu_bench::figs::verify_all()),
+        ("fig03", tmu_bench::figs::fig03),
+        ("fig10", tmu_bench::figs::fig10),
+        ("fig11", tmu_bench::figs::fig11),
+        ("fig12", tmu_bench::figs::fig12),
+        ("fig13", tmu_bench::figs::fig13),
+        ("fig15", tmu_bench::figs::fig15),
+        ("fig14", tmu_bench::figs::fig14),
+    ];
+    for (name, run) in figures {
+        let t = std::time::Instant::now();
+        run(&runner);
+        let _ = writeln!(
+            log,
+            "{name}: {:.1}s ({} simulations so far)",
+            t.elapsed().as_secs_f64(),
+            runner.simulations()
+        );
+    }
+    let summary = format!(
         "all figures regenerated in {:.0}s ({} simulations on {} workers)",
         t0.elapsed().as_secs_f64(),
         runner.simulations(),
         runner.workers()
     );
+    println!("{summary}");
+    log.push_str(&summary);
+    log.push('\n');
+    let path = std::path::Path::new("results").join("all_figures.log");
+    match tmu_bench::json::create_dir(path.parent().expect("has parent"))
+        .and_then(|()| tmu_bench::json::write_text(&path, &log))
+    {
+        Ok(()) => println!("→ wrote {}", path.display()),
+        Err(e) => eprintln!("all_figures: could not write run log: {e}"),
+    }
 }

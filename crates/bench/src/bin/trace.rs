@@ -1,0 +1,8 @@
+//! Traces one runner-grid job and writes Chrome trace-event JSON.
+//! Thin wrapper over [`tmu_bench::tracecli`] — see that module for the
+//! argument grammar and output format.
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tmu_bench::tracecli::main(&args)
+}

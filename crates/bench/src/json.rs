@@ -27,8 +27,30 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
+
+/// Attaches the offending path to an I/O error, so a read-only or missing
+/// `results/` directory fails with a diagnosis instead of a bare panic.
+fn with_path(e: io::Error, path: &Path) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+/// `std::fs::write` with the path attached to any error.
+pub fn write_text(path: &Path, text: &str) -> io::Result<()> {
+    std::fs::write(path, text).map_err(|e| with_path(e, path))
+}
+
+/// `std::fs::read_to_string` with the path attached to any error.
+pub fn read_text(path: &Path) -> io::Result<String> {
+    std::fs::read_to_string(path).map_err(|e| with_path(e, path))
+}
+
+/// `std::fs::create_dir_all` with the path attached to any error.
+pub fn create_dir(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| with_path(e, dir))
+}
 
 /// One simulated run, flattened for `results/bench.json`.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -275,8 +297,8 @@ pub fn render_bench_json() -> String {
 /// figures over any figures an earlier run (e.g. another `fig*` binary)
 /// left in the file — so `cargo run --bin fig10` refreshes only its own
 /// rows instead of clobbering the rest. Delete the file for a clean
-/// rebuild.
-pub fn write_bench_json(dir: &Path) -> PathBuf {
+/// rebuild. Errors name the offending path.
+pub fn write_bench_json(dir: &Path) -> io::Result<PathBuf> {
     let path = dir.join("bench.json");
     let mut figures = parse_existing(&path);
     {
@@ -285,8 +307,174 @@ pub fn write_bench_json(dir: &Path) -> PathBuf {
             figures.insert(name.clone(), rows_body(rows));
         }
     }
-    std::fs::write(&path, render(&figures)).expect("write bench.json");
-    path
+    write_text(&path, &render(&figures))?;
+    Ok(path)
+}
+
+/// Validates that `text` is one well-formed JSON value (RFC 8259 subset:
+/// objects, arrays, strings with escapes, numbers, booleans, null).
+///
+/// The workspace's `serde` is the offline marker-trait stub, so this
+/// hand-rolled recursive-descent checker is the repo's JSON parser — the
+/// emitters above and the Chrome trace exporter are tested against it.
+/// Errors carry the byte offset and a short description.
+pub fn validate(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(*pos + 2..*pos + 6).unwrap_or(&[]);
+                    if hex.len() != 4 || !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {pos}"));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {pos}")),
+            },
+            0x00..=0x1F => return Err(format!("raw control byte in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit} at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("expected digit at byte {pos}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected fraction digit at byte {pos}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digit at byte {start}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -372,7 +560,7 @@ mod tests {
                 ..BenchRow::default()
             }],
         );
-        let path = write_bench_json(&dir);
+        let path = write_bench_json(&dir).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(
             text.contains("\"zz_prev_fig\":[\n{\"figure\":\"zz_prev_fig\",\"cycles\":9}\n]"),
@@ -381,8 +569,64 @@ mod tests {
         assert!(text.contains("\"zz_merge_fig\":["), "{text}");
         assert!(text.contains("\"cycles\":7"), "{text}");
         // A second write round-trips the merged file unchanged.
-        let again = std::fs::read_to_string(write_bench_json(&dir)).unwrap();
+        let again = std::fs::read_to_string(write_bench_json(&dir).unwrap()).unwrap();
         assert_eq!(text, again);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_error_names_the_path() {
+        let missing = Path::new("/nonexistent-tmu-dir/deeper");
+        let err = write_bench_json(missing).unwrap_err();
+        assert!(
+            err.to_string().contains("/nonexistent-tmu-dir/deeper"),
+            "error must name the path: {err}"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_the_emitters_output() {
+        record(
+            "zz_valid_fig",
+            vec![BenchRow {
+                figure: "zz_valid_fig".into(),
+                input: "quote\"back\\slash\ttab".into(),
+                scale: Some(0.5),
+                committing: f64::NAN,
+                gflops: 1.25e-3,
+                ..BenchRow::default()
+            }],
+        );
+        validate(&render_bench_json()).expect("bench.json must be well-formed");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "1.2.3",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "{\"a\":1} trailing",
+            "[01e]",
+            "\"ctrl\u{0}\"",
+        ] {
+            assert!(validate(bad).is_err(), "must reject {bad:?}");
+        }
+        for good in [
+            "null",
+            "-0.5e+10",
+            "[]",
+            "{}",
+            "{\"k\":[1,true,null,\"\\u00e9\"]}",
+            " [ 1 , 2 ] ",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("must accept {good:?}: {e}"));
+        }
     }
 }

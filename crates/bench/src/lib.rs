@@ -20,6 +20,7 @@
 pub mod figs;
 pub mod json;
 pub mod runner;
+pub mod tracecli;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -122,18 +123,30 @@ impl Report {
 
     /// Writes the report under `results/<name>.txt` and, when the report
     /// carries structured rows, refreshes `results/bench.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending path in the message) when `results/`
+    /// cannot be created or written — see [`Report::try_save`] for the
+    /// propagating form.
     pub fn save(&self) -> PathBuf {
+        self.try_save()
+            .unwrap_or_else(|e| panic!("cannot save report {}: {e}", self.name))
+    }
+
+    /// Fallible [`Report::save`]: errors name the path that failed.
+    pub fn try_save(&self) -> std::io::Result<PathBuf> {
         let dir = PathBuf::from("results");
-        let _ = std::fs::create_dir_all(&dir);
+        json::create_dir(&dir)?;
         let path = dir.join(format!("{}.txt", self.name));
-        std::fs::write(&path, &self.body).expect("write report");
+        json::write_text(&path, &self.body)?;
         println!("→ wrote {}", path.display());
         if !self.rows.is_empty() {
             json::record(self.name, self.rows.clone());
-            let jpath = json::write_bench_json(&dir);
+            let jpath = json::write_bench_json(&dir)?;
             println!("→ wrote {}", jpath.display());
         }
-        path
+        Ok(path)
     }
 }
 

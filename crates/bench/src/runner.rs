@@ -60,6 +60,16 @@ pub enum InputSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// `gen::rmat` power-law graph adjacency matrix (`2^scale` vertices)
+    /// — the skewed, cache-hostile input the `trace` binary defaults to.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Edge count.
+        edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl InputSpec {
@@ -71,6 +81,7 @@ impl InputSpec {
             InputSpec::Uniform {
                 rows, nnz_per_row, ..
             } => format!("u{rows}x{nnz_per_row}"),
+            InputSpec::Rmat { scale, .. } => format!("rmat{scale}"),
         }
     }
 
@@ -199,6 +210,9 @@ impl Job {
                 nnz_per_row,
                 seed,
             } => matrix_kernel(self.kernel, &gen::uniform(rows, cols, nnz_per_row, seed)),
+            InputSpec::Rmat { scale, edges, seed } => {
+                matrix_kernel(self.kernel, &gen::rmat(scale, edges, seed))
+            }
         }
     }
 
@@ -213,6 +227,7 @@ impl Job {
         let kind = w.kind();
         let from_stats = |stats: RunStats| RunResult {
             kind,
+            registry: Some(stats.registry()),
             stats,
             outq: Vec::new(),
         };
@@ -236,6 +251,7 @@ impl Job {
                 let run = w.run_tmu(self.sys, tmu);
                 RunResult {
                     kind,
+                    registry: Some(run.stats.registry()),
                     stats: run.stats,
                     outq: run.outq.iter().map(|o| o.snapshot()).collect(),
                 }
@@ -251,6 +267,11 @@ pub struct RunResult {
     pub kind: KernelKind,
     /// System-level statistics (cycles, breakdown, caches, DRAM).
     pub stats: RunStats,
+    /// The final [`tmu_trace::StatsRegistry`] snapshot of the run —
+    /// the same numbers as `stats`, under gem5-style dotted names, so
+    /// `bench.json` consumers and trace exports read one counter system.
+    /// `None` only for hand-constructed results.
+    pub registry: Option<tmu_trace::StatsRegistry>,
     /// Per-core outQ snapshots (empty for non-TMU variants).
     pub outq: Vec<OutQSnapshot>,
 }
@@ -524,6 +545,76 @@ mod tests {
         // A genuinely new configuration does simulate.
         runner.run(&jobs[0].clone().with_sys(configs::neoverse_n1_with_sve(256)));
         assert_eq!(runner.simulations(), jobs.len() + 1);
+    }
+
+    #[test]
+    fn registry_snapshot_mirrors_stats() {
+        // No-overhead pin for the stats→registry migration: the registry
+        // a default-features run carries is a renaming of the same
+        // `sim::stats` numbers, not a second (potentially drifting)
+        // accounting. The figure/bench.json pipeline still reads `stats`,
+        // so equal values here mean the migration changed plumbing only.
+        let job = &small_grid()[2];
+        let res = job.run();
+        let reg = res.registry.as_ref().expect("runner populates registry");
+        assert_eq!(reg.counter("system.cycles"), Some(res.stats.cycles));
+        assert_eq!(reg.counter("system.dram.bytes"), Some(res.stats.dram_bytes));
+        assert_eq!(reg.counter("system.l1.hits"), Some(res.stats.mem.l1.hits));
+        assert_eq!(
+            reg.counter("system.llc.misses"),
+            Some(res.stats.mem.llc.misses)
+        );
+        assert_eq!(
+            reg.gauge("system.dram.row_hit_rate"),
+            Some(res.stats.dram_row_hit_rate)
+        );
+        let committed: u64 = (0..res.stats.cores.len())
+            .map(|i| {
+                reg.counter(&format!("system.core{i}.committed"))
+                    .expect("per-core counters present")
+            })
+            .sum();
+        assert_eq!(
+            committed,
+            res.stats.cores.iter().map(|c| c.committed).sum::<u64>()
+        );
+    }
+
+    /// Determinism pin for the trace subsystem (same style as
+    /// [`parallel_runs_are_deterministic`]): the Chrome export of one
+    /// traced job is byte-identical no matter the `TMU_JOBS` worker
+    /// count, and well-formed per the vendored parser in [`crate::json`].
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_export_is_deterministic_across_worker_counts() {
+        use tmu_trace::{TraceConfig, Tracer};
+        let job = Job::new(
+            "SpMV",
+            InputSpec::Rmat {
+                scale: 9,
+                edges: 4096,
+                seed: 7,
+            },
+            EngineVariant::Tmu,
+        );
+        let export = |workers: usize| {
+            // Fresh runner per export so the memo cache cannot skip the
+            // traced simulation; the global tracer is thread-scoped, so
+            // concurrently running tests cannot interleave into it.
+            tmu_trace::install(Tracer::new(TraceConfig::default()));
+            Runner::with_workers(workers).run(&job);
+            let tracer = tmu_trace::uninstall().expect("tracer installed");
+            assert_eq!(tracer.dropped_total(), 0, "rings sized for this job");
+            tracer.chrome_json()
+        };
+        let a = export(1);
+        let b = export(4);
+        assert_eq!(a, b, "trace bytes must not depend on the worker count");
+        crate::json::validate(&a).expect("well-formed trace-event JSON");
+        // The engine's duration and counter events actually made it in.
+        assert!(a.contains("\"name\":\"tu_fetch\",\"ph\":\"X\""), "{a}");
+        assert!(a.contains("\"name\":\"outq_occupancy\",\"ph\":\"C\""));
+        assert!(a.contains("system.core0.tmu"));
     }
 
     #[test]

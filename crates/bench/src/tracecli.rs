@@ -1,0 +1,137 @@
+//! Implementation of the `trace` binary: runs one runner-grid job with a
+//! process-global [`tmu_trace::Tracer`] installed and writes Chrome
+//! trace-event JSON under `results/`.
+//!
+//! Lives in the library so both the workspace-root `trace` bin
+//! (`cargo run --release --features trace --bin trace`) and the
+//! `tmu-bench` one are the same thin wrapper around [`main`]. The code
+//! compiles with or without the `trace` feature — without it the
+//! simulator's call sites are compiled out and the trace comes back
+//! empty, which is why both bins declare `required-features = ["trace"]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crate::json;
+use crate::runner::{EngineVariant, InputSpec, Job};
+use tmu_tensor::gen::InputId;
+use tmu_trace::{TraceConfig, Tracer};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace [spmv|spmspm|spkadd|pr|tc] [rmat|m1..m6] \
+         [tmu|single-lane|baseline|scalar|imp]"
+    );
+    ExitCode::from(2)
+}
+
+fn kernel(arg: &str) -> Option<&'static str> {
+    Some(match arg.to_ascii_lowercase().as_str() {
+        "spmv" => "SpMV",
+        "spmspm" => "SpMSpM",
+        "spkadd" => "SpKAdd",
+        "pr" | "pagerank" => "PR",
+        "tc" | "trianglecount" => "TC",
+        _ => return None,
+    })
+}
+
+fn input(arg: &str) -> Option<InputSpec> {
+    let id = match arg.to_ascii_lowercase().as_str() {
+        // Skewed rows + poor column locality: the input that exercises
+        // every trace point (misses, row conflicts, outQ backpressure).
+        "rmat" => {
+            return Some(InputSpec::Rmat {
+                scale: 12,
+                edges: 32_768,
+                seed: 0xC0FFEE,
+            })
+        }
+        "m1" => InputId::M1,
+        "m2" => InputId::M2,
+        "m3" => InputId::M3,
+        "m4" => InputId::M4,
+        "m5" => InputId::M5,
+        "m6" => InputId::M6,
+        _ => return None,
+    };
+    Some(InputSpec::Table6 {
+        id,
+        scale: crate::scale(),
+    })
+}
+
+fn engine(arg: &str) -> Option<EngineVariant> {
+    Some(match arg.to_ascii_lowercase().as_str() {
+        "tmu" => EngineVariant::Tmu,
+        "single-lane" | "single" => EngineVariant::SingleLane,
+        "baseline" | "sve" => EngineVariant::BaselineSve,
+        "scalar" => EngineVariant::BaselineScalar,
+        "imp" => EngineVariant::Imp,
+        _ => return None,
+    })
+}
+
+/// Entry point shared by the `trace` binaries. `args` are the CLI
+/// arguments after the program name: `[kernel] [input] [engine]`.
+pub fn main(args: &[String]) -> ExitCode {
+    let arg = |i: usize, default: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| default.to_owned())
+    };
+    let Some(kernel) = kernel(&arg(0, "spmv")) else {
+        return usage();
+    };
+    let Some(input) = input(&arg(1, "rmat")) else {
+        return usage();
+    };
+    let Some(engine) = engine(&arg(2, "tmu")) else {
+        return usage();
+    };
+    let job = Job::new(kernel, input, engine);
+    println!(
+        "tracing {} on {} ({})",
+        job.kernel,
+        job.input.label(),
+        job.engine.label()
+    );
+
+    tmu_trace::install(Tracer::new(TraceConfig::from_env()));
+    let res = job.run();
+    let tracer = tmu_trace::uninstall().expect("tracer still installed after the run");
+
+    let trace_json = tracer.chrome_json();
+    json::validate(&trace_json).expect("chrome exporter emits well-formed JSON");
+    let dir = PathBuf::from("results");
+    if let Err(e) = json::create_dir(&dir) {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = dir.join(format!(
+        "trace-{}-{}-{}.json",
+        job.kernel.to_ascii_lowercase(),
+        job.input.label(),
+        job.engine.label()
+    ));
+    if let Err(e) = json::write_text(&path, &trace_json) {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("\n== stats registry ==");
+    print!("{}", tracer.registry().dump_text());
+    let events: usize = (0..tracer.components().len())
+        .map(|i| tracer.ring(tmu_trace::ComponentId(i as u32)).len())
+        .sum();
+    println!(
+        "\n{} cycles simulated; {} events across {} components ({} dropped)",
+        res.stats.cycles,
+        events,
+        tracer.components().len(),
+        tracer.dropped_total()
+    );
+    println!(
+        "→ wrote {} (open in chrome://tracing or Perfetto)",
+        path.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -42,6 +42,18 @@ impl ContextSnapshot {
         steps_completed: u64,
         entries_produced: u64,
     ) -> Self {
+        // Context switches are step-indexed, not cycle-indexed (the engine
+        // is quiesced): the event timestamp carries the step count.
+        #[cfg(feature = "trace")]
+        tmu_trace::with(|t| {
+            let c = t.component("system.tmu.ctx");
+            t.event(
+                c,
+                steps_completed,
+                tmu_trace::EventKind::CtxSave,
+                entries_produced,
+            );
+        });
         Self {
             config,
             program: program.clone(),
@@ -53,6 +65,16 @@ impl ContextSnapshot {
     /// Restores an interpreter positioned exactly after
     /// `steps_completed` steps.
     pub fn restore(&self, image: Arc<MemImage>) -> Interp {
+        #[cfg(feature = "trace")]
+        tmu_trace::with(|t| {
+            let c = t.component("system.tmu.ctx");
+            t.event(
+                c,
+                self.steps_completed,
+                tmu_trace::EventKind::CtxRestore,
+                self.entries_produced,
+            );
+        });
         let mut interp = Interp::new(Arc::new(self.program.clone()), image);
         for _ in 0..self.steps_completed {
             interp

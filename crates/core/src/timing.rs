@@ -194,6 +194,15 @@ pub struct TmuAccelerator<H: CallbackHandler> {
     /// Diagnostic counters: (cycles with no issue while work pending,
     /// capacity-blocked picks, dep-blocked picks, gate-blocked step waits).
     pub debug_counters: [u64; 4],
+    // Tracing state (trace builds only). The component is registered
+    // lazily on the first tick — the engine learns its host core index
+    // there, not at construction.
+    #[cfg(feature = "trace")]
+    trace: Option<tmu_trace::ComponentId>,
+    #[cfg(feature = "trace")]
+    trace_layer: u8,
+    #[cfg(feature = "trace")]
+    sampler: tmu_trace::PeriodicSampler,
 }
 
 impl<H: CallbackHandler> std::fmt::Debug for TmuAccelerator<H> {
@@ -257,6 +266,22 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
             stats: Arc::new(Mutex::new(OutQStats::default())),
             outq_site: Site(u16::MAX),
             debug_counters: [0; 4],
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            trace_layer: u8::MAX,
+            #[cfg(feature = "trace")]
+            sampler: tmu_trace::PeriodicSampler::new(
+                tmu_trace::with(|t| t.config().sample_period).unwrap_or(256),
+            ),
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn emit(&self, cycle: u64, kind: tmu_trace::EventKind, payload: u64) {
+        if let Some(id) = self.trace {
+            tmu_trace::with(|t| t.event(id, cycle, kind, payload));
         }
     }
 
@@ -376,6 +401,15 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
                     self.ready.set(head.id, done);
                     issued_line = true;
                     self.rr[layer] = (lane + 1) % lanes;
+                    #[cfg(feature = "trace")]
+                    self.emit(
+                        now,
+                        tmu_trace::EventKind::TuFetch,
+                        tmu_trace::pack_dur_extra(
+                            done.saturating_sub(now),
+                            ((layer as u32) << 8) | lane as u32,
+                        ),
+                    );
                 }
             }
         }
@@ -400,6 +434,12 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
                     .lock()
                     .expect("stats poisoned")
                     .backpressure_cycles += 1;
+                #[cfg(feature = "trace")]
+                self.emit(
+                    now,
+                    tmu_trace::EventKind::OutQFull,
+                    u64::from(self.chunk_id.saturating_sub(self.acked)),
+                );
                 break;
             }
             let gates_ready = step
@@ -413,6 +453,28 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
                 break;
             }
             let step = self.pending.pop_front().expect("checked");
+            #[cfg(feature = "trace")]
+            {
+                if step.layer != self.trace_layer {
+                    self.trace_layer = step.layer;
+                    self.emit(
+                        now,
+                        tmu_trace::EventKind::LayerTransition,
+                        u64::from(step.layer),
+                    );
+                }
+                let fsm = match step.kind {
+                    crate::steps::StepKind::Beg => 0u32,
+                    crate::steps::StepKind::Ite => 1,
+                    crate::steps::StepKind::End => 2,
+                    crate::steps::StepKind::Skip => 3,
+                };
+                self.emit(
+                    now,
+                    tmu_trace::EventKind::TgStep,
+                    tmu_trace::pack_dur_extra(1, ((step.layer as u32) << 8) | fsm),
+                );
+            }
             for &(layer, lane) in &step.consumed {
                 self.tus[layer as usize][lane as usize].consumed_elems += 1;
             }
@@ -454,6 +516,12 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
         self.chunk_entries += 1;
         self.chunk_bytes += bytes.max(64);
         self.stats.lock().expect("stats poisoned").entries += 1;
+        #[cfg(feature = "trace")]
+        self.emit(
+            now,
+            tmu_trace::EventKind::OutQPush,
+            u64::from(self.chunk_id),
+        );
     }
 
     fn seal_chunk(&mut self, now: u64, core: usize, mem: &mut MemSys) {
@@ -480,6 +548,12 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
                 ack: 0,
                 entries: self.chunk_entries,
             });
+        #[cfg(feature = "trace")]
+        self.emit(
+            self.chunk_open,
+            tmu_trace::EventKind::ChunkWrite,
+            tmu_trace::pack_dur_extra(visible.saturating_sub(self.chunk_open), self.chunk_id),
+        );
         self.chunk_id += 1;
         self.chunk_entries = 0;
         self.chunk_bytes = 0;
@@ -488,6 +562,26 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
 
 impl<H: CallbackHandler> Accelerator for TmuAccelerator<H> {
     fn tick(&mut self, now: u64, core: usize, mem: &mut MemSys) {
+        #[cfg(feature = "trace")]
+        {
+            // The engine learns its host core index here, so the tracer
+            // component is registered on the first traced tick.
+            if self.trace.is_none() && tmu_trace::is_active() {
+                self.trace = tmu_trace::with(|t| t.component(&format!("system.core{core}.tmu")));
+            }
+            if self.trace.is_some() && self.sampler.due(now) {
+                self.emit(
+                    now,
+                    tmu_trace::EventKind::OutQOccupancy,
+                    u64::from(self.chunk_entries),
+                );
+                self.emit(
+                    now,
+                    tmu_trace::EventKind::OutQChunksAhead,
+                    u64::from(self.chunk_id.saturating_sub(self.acked)),
+                );
+            }
+        }
         self.refill();
         self.arbitrate(now, core, mem);
         self.advance_steps(now, core, mem);
@@ -502,6 +596,16 @@ impl<H: CallbackHandler> Accelerator for TmuAccelerator<H> {
         let mut stats = self.stats.lock().expect("stats poisoned");
         if let Some(stat) = stats.chunks.get_mut(chunk as usize) {
             stat.ack = now;
+            #[cfg(feature = "trace")]
+            {
+                let ready = stat.ready;
+                drop(stats);
+                self.emit(
+                    ready,
+                    tmu_trace::EventKind::ChunkRead,
+                    tmu_trace::pack_dur_extra(now.saturating_sub(ready), chunk),
+                );
+            }
         }
     }
 

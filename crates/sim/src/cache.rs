@@ -119,6 +119,8 @@ pub struct Cache {
     pub merged: u64,
     /// Dirty lines evicted (writeback traffic).
     pub writebacks: u64,
+    #[cfg(feature = "trace")]
+    trace: Option<tmu_trace::ComponentId>,
 }
 
 impl Cache {
@@ -142,12 +144,29 @@ impl Cache {
             misses: 0,
             merged: 0,
             writebacks: 0,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 
     /// The level's configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// Attaches this cache to a tracer component: subsequent probes emit
+    /// hit/miss/merge events against `id` when a tracer is installed.
+    #[cfg(feature = "trace")]
+    pub fn set_trace(&mut self, id: tmu_trace::ComponentId) {
+        self.trace = Some(id);
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn emit(&self, t: u64, kind: tmu_trace::EventKind, line: u64) {
+        if let Some(id) = self.trace {
+            tmu_trace::with(|tr| tr.event(id, t, kind, line));
+        }
     }
 
     fn set_of(&self, line: u64) -> usize {
@@ -169,6 +188,8 @@ impl Cache {
             if done > t {
                 self.touch(line);
                 self.merged += 1;
+                #[cfg(feature = "trace")]
+                self.emit(t, tmu_trace::EventKind::CacheMerge, line);
                 return Probe::InFlight(done);
             }
             self.inflight.remove(&line);
@@ -176,14 +197,19 @@ impl Cache {
         self.use_counter += 1;
         let stamp = self.use_counter;
         let set = self.set_of(line);
-        for e in &mut self.sets[set] {
+        for i in 0..self.sets[set].len() {
+            let e = &mut self.sets[set][i];
             if e.valid && e.tag == line {
                 e.last_use = stamp;
                 self.hits += 1;
+                #[cfg(feature = "trace")]
+                self.emit(t, tmu_trace::EventKind::CacheHit, line);
                 return Probe::Hit;
             }
         }
         self.misses += 1;
+        #[cfg(feature = "trace")]
+        self.emit(t, tmu_trace::EventKind::CacheMiss, line);
         Probe::Miss
     }
 

@@ -213,6 +213,12 @@ pub struct Core {
     fetch_blocked_until: u64,
     /// Accumulated statistics.
     pub stats: CoreStats,
+    #[cfg(feature = "trace")]
+    trace: Option<tmu_trace::ComponentId>,
+    /// Last emitted top-down class (0 committing, 1 frontend, 2 backend);
+    /// 3 means "none yet" so the first classified cycle always emits.
+    #[cfg(feature = "trace")]
+    last_class: u8,
 }
 
 impl Core {
@@ -231,12 +237,24 @@ impl Core {
             bpred: BranchPredictor::default(),
             fetch_blocked_until: 0,
             stats: CoreStats::default(),
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            last_class: 3,
         }
     }
 
     /// The core's configuration.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// Attaches this core to a tracer component: subsequent ticks emit
+    /// stall-class transitions and LSQ-stall events against `id` when a
+    /// tracer is installed.
+    #[cfg(feature = "trace")]
+    pub fn set_trace(&mut self, id: tmu_trace::ComponentId) {
+        self.trace = Some(id);
     }
 
     /// Whether the core has drained all in-flight work.
@@ -361,13 +379,27 @@ impl Core {
 
         // ---- Cycle classification (top-down style) ----
         self.stats.cycles += 1;
-        if committed > 0 {
+        let class: u8 = if committed > 0 {
             self.stats.committing += 1;
+            0
         } else if self.rob.is_empty() {
             self.stats.frontend += 1;
+            1
         } else {
             self.stats.backend += 1;
+            2
+        };
+        #[cfg(feature = "trace")]
+        if class != self.last_class {
+            self.last_class = class;
+            if let Some(id) = self.trace {
+                tmu_trace::with(|tr| {
+                    tr.event(id, now, tmu_trace::EventKind::StallClass, u64::from(class));
+                });
+            }
         }
+        #[cfg(not(feature = "trace"))]
+        let _ = class;
         committed
     }
 
@@ -401,6 +433,14 @@ impl Core {
                     _ => unreachable!(),
                 };
                 let gated = Self::queue_gate(&mut self.lq, cfg.lq, exec_start).max(exec_start);
+                #[cfg(feature = "trace")]
+                if gated > exec_start {
+                    if let Some(id) = self.trace {
+                        tmu_trace::with(|tr| {
+                            tr.event(id, now, tmu_trace::EventKind::LsqStall, gated - exec_start);
+                        });
+                    }
+                }
                 let issue = Self::claim_port(&mut self.load_ports, gated);
                 let complete = mem.read(self.id, op.site, addr, bytes, issue);
                 self.lq.push(std::cmp::Reverse(complete));
@@ -410,6 +450,14 @@ impl Core {
             }
             OpKind::Store { addr, bytes } => {
                 let gated = Self::queue_gate(&mut self.sq, cfg.sq, exec_start).max(exec_start);
+                #[cfg(feature = "trace")]
+                if gated > exec_start {
+                    if let Some(id) = self.trace {
+                        tmu_trace::with(|tr| {
+                            tr.event(id, now, tmu_trace::EventKind::LsqStall, gated - exec_start);
+                        });
+                    }
+                }
                 let issue = Self::claim_port(&mut self.store_ports, gated);
                 let owned = mem.write(self.id, addr, bytes, issue);
                 self.sq.push(std::cmp::Reverse(owned));

@@ -77,6 +77,8 @@ pub struct Dram {
     pub row_hits: u64,
     /// Row-buffer misses observed.
     pub row_misses: u64,
+    #[cfg(feature = "trace")]
+    trace: Option<tmu_trace::ComponentId>,
 }
 
 impl Dram {
@@ -96,12 +98,30 @@ impl Dram {
             lines_written: 0,
             row_hits: 0,
             row_misses: 0,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 
     /// The configuration this subsystem was built with.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// Attaches the DRAM model to a tracer component: subsequent accesses
+    /// emit row-open/row-hit events against `id` when a tracer is installed.
+    #[cfg(feature = "trace")]
+    pub fn set_trace(&mut self, id: tmu_trace::ComponentId) {
+        self.trace = Some(id);
+    }
+
+    /// Number of banks currently holding an open row, across all channels
+    /// (row-buffer state diagnostics; sampled by the trace subsystem).
+    pub fn open_rows(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|ch| ch.open_rows.iter().filter(|&&r| r != u64::MAX).count())
+            .sum()
     }
 
     fn channel_of(&self, line_addr: u64) -> usize {
@@ -125,6 +145,16 @@ impl Dram {
         } else {
             self.row_misses += 1;
             ch.open_rows[bank] = row;
+        }
+        #[cfg(feature = "trace")]
+        if let Some(id) = self.trace {
+            let kind = if row_hit {
+                tmu_trace::EventKind::DramRowHit
+            } else {
+                tmu_trace::EventKind::DramRowOpen
+            };
+            let payload = ((ch_idx as u64) << 48) | (row & 0xFFFF_FFFF_FFFF);
+            tmu_trace::with(|tr| tr.event(id, cycle, kind, payload));
         }
         let access_lat = if row_hit {
             cfg.t_row_hit
@@ -206,6 +236,20 @@ mod tests {
             .collect();
         let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
         assert!(spread <= 1, "parallel channels must not queue: {times:?}");
+    }
+
+    #[test]
+    fn open_rows_tracks_bank_state() {
+        let mut dram = Dram::new(DramConfig::hbm2e_4ch());
+        assert_eq!(dram.open_rows(), 0, "all banks start closed");
+        dram.access(0, 0, false);
+        assert_eq!(dram.open_rows(), 1);
+        // Same bank, same row: still one open row.
+        dram.access(0, 10, false);
+        assert_eq!(dram.open_rows(), 1);
+        // A different channel opens a second bank.
+        dram.access(CACHELINE, 20, false);
+        assert_eq!(dram.open_rows(), 2);
     }
 
     #[test]

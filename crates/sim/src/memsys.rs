@@ -126,6 +126,30 @@ impl MemSys {
         &self.cfg
     }
 
+    /// Registers every cache level and the DRAM model as components of the
+    /// installed tracer and attaches their trace ids, so subsequent probes
+    /// and accesses emit events. No-op when no tracer is installed.
+    #[cfg(feature = "trace")]
+    pub fn register_trace(&mut self) {
+        tmu_trace::with(|t| {
+            for (i, c) in self.l1.iter_mut().enumerate() {
+                c.set_trace(t.component(&format!("system.core{i}.l1")));
+            }
+            for (i, c) in self.l2.iter_mut().enumerate() {
+                c.set_trace(t.component(&format!("system.core{i}.l2")));
+            }
+            for (s, c) in self.llc.iter_mut().enumerate() {
+                c.set_trace(t.component(&format!("system.llc{s}")));
+            }
+            self.dram.set_trace(t.component("system.dram"));
+        });
+    }
+
+    /// The mesh NoC (latency and telemetry access).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
     /// DRAM statistics.
     pub fn dram(&self) -> &Dram {
         &self.dram

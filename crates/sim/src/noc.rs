@@ -16,6 +16,12 @@ pub struct Mesh {
     link_cycles: u64,
     core_nodes: Vec<(usize, usize)>,
     slice_nodes: Vec<(usize, usize)>,
+    // Utilization accounting (trace builds only). `Cell` because latency
+    // queries take `&self`; the mesh is owned by one simulation thread.
+    #[cfg(feature = "trace")]
+    traversals: std::cell::Cell<u64>,
+    #[cfg(feature = "trace")]
+    hop_cycles: std::cell::Cell<u64>,
 }
 
 impl Mesh {
@@ -36,7 +42,19 @@ impl Mesh {
             link_cycles: 1,
             core_nodes,
             slice_nodes,
+            #[cfg(feature = "trace")]
+            traversals: std::cell::Cell::new(0),
+            #[cfg(feature = "trace")]
+            hop_cycles: std::cell::Cell::new(0),
         }
+    }
+
+    /// Accumulated `(traversals, hop_cycles)` since construction: how many
+    /// round trips crossed the mesh and the total per-hop cycles they paid
+    /// (link-utilization telemetry; the ratio is the mean traversal cost).
+    #[cfg(feature = "trace")]
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.traversals.get(), self.hop_cycles.get())
     }
 
     /// Mesh width (nodes per side).
@@ -54,7 +72,13 @@ impl Mesh {
     /// Round-trip latency (request + response) between a core and a slice.
     pub fn round_trip(&self, core: usize, slice: usize) -> u64 {
         let per_hop = self.router_cycles + self.link_cycles;
-        2 * per_hop * self.hops(core, slice).max(1)
+        let cycles = 2 * per_hop * self.hops(core, slice).max(1);
+        #[cfg(feature = "trace")]
+        {
+            self.traversals.set(self.traversals.get() + 1);
+            self.hop_cycles.set(self.hop_cycles.get() + cycles);
+        }
+        cycles
     }
 
     /// Average round-trip latency from `core` over all slices (used when a

@@ -141,6 +141,47 @@ impl RunStats {
             bandwidth_gbs: self.bandwidth_gbs(),
         }
     }
+
+    /// Renders the run as a hierarchical [`tmu_trace::StatsRegistry`] with
+    /// gem5-style dotted names (`system.core0.backend`, `system.l1.hits`).
+    /// Counters are the same `u64`s as the struct fields — this is a view,
+    /// not a second accounting — so consumers reading either source see
+    /// identical numbers.
+    pub fn registry(&self) -> tmu_trace::StatsRegistry {
+        let mut r = tmu_trace::StatsRegistry::new();
+        r.set_counter("system.cycles", self.cycles);
+        r.set_gauge("system.freq_ghz", self.freq_ghz);
+        for (i, c) in self.cores.iter().enumerate() {
+            let p = format!("system.core{i}");
+            r.set_counter(&format!("{p}.committing"), c.committing);
+            r.set_counter(&format!("{p}.frontend"), c.frontend);
+            r.set_counter(&format!("{p}.backend"), c.backend);
+            r.set_counter(&format!("{p}.cycles"), c.cycles);
+            r.set_counter(&format!("{p}.committed"), c.committed);
+            r.set_counter(&format!("{p}.loads"), c.loads);
+            r.set_counter(&format!("{p}.load_latency_sum"), c.load_latency_sum);
+            r.set_counter(&format!("{p}.flops"), c.flops);
+            r.set_counter(&format!("{p}.branches"), c.branches);
+            r.set_counter(&format!("{p}.mispredicts"), c.mispredicts);
+        }
+        for (level, s) in [
+            ("l1", &self.mem.l1),
+            ("l2", &self.mem.l2),
+            ("llc", &self.mem.llc),
+        ] {
+            r.set_counter(&format!("system.{level}.hits"), s.hits);
+            r.set_counter(&format!("system.{level}.misses"), s.misses);
+            r.set_counter(&format!("system.{level}.merged"), s.merged);
+            r.set_counter(&format!("system.{level}.writebacks"), s.writebacks);
+        }
+        r.set_counter("system.dram.bytes", self.dram_bytes);
+        r.set_counter("system.dram.lines_read", self.mem.dram_lines_read);
+        r.set_counter("system.dram.lines_written", self.mem.dram_lines_written);
+        r.set_counter("system.dram.row_hits", self.mem.dram_row_hits);
+        r.set_counter("system.dram.row_misses", self.mem.dram_row_misses);
+        r.set_gauge("system.dram.row_hit_rate", self.dram_row_hit_rate);
+        r
+    }
 }
 
 /// A measured point on a roofline plot (Figure 12).
@@ -233,6 +274,21 @@ mod tests {
         // an in-flight fetch and must not count as new misses.
         assert!((l.miss_rate() - 0.2).abs() < 1e-12);
         assert_eq!(CacheLevelStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn registry_mirrors_stats_fields() {
+        let mut s = sample();
+        s.mem.l1.absorb(10, 3, 1, 2);
+        s.mem.dram_lines_read = 7;
+        let r = s.registry();
+        assert_eq!(r.counter("system.cycles"), Some(s.cycles));
+        assert_eq!(r.counter("system.core0.flops"), Some(2_400_000));
+        assert_eq!(r.counter("system.l1.hits"), Some(10));
+        assert_eq!(r.counter("system.l1.writebacks"), Some(2));
+        assert_eq!(r.counter("system.dram.lines_read"), Some(7));
+        assert_eq!(r.gauge("system.dram.row_hit_rate"), Some(0.5));
+        assert_eq!(r.counter("system.l2.hits"), Some(0));
     }
 
     #[test]

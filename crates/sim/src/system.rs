@@ -184,11 +184,22 @@ pub struct System {
 impl System {
     /// Builds a system from `cfg`.
     pub fn new(cfg: SystemConfig) -> Self {
-        Self {
+        #[allow(unused_mut)]
+        let mut sys = Self {
             mem: MemSys::new(cfg.mem),
             cores: (0..cfg.cores()).map(|i| Core::new(i, cfg.core)).collect(),
             cfg,
+        };
+        #[cfg(feature = "trace")]
+        {
+            sys.mem.register_trace();
+            tmu_trace::with(|t| {
+                for (i, core) in sys.cores.iter_mut().enumerate() {
+                    core.set_trace(t.component(&format!("system.core{i}")));
+                }
+            });
         }
+        sys
     }
 
     /// The system configuration.
@@ -250,6 +261,9 @@ impl System {
         let mut now: u64 = 0;
         let mut acks: Vec<u32> = Vec::new();
         let mut scratch: Vec<Op> = Vec::new();
+        #[cfg(feature = "trace")]
+        let mut sampler =
+            tmu_trace::with(|t| tmu_trace::PeriodicSampler::new(t.config().sample_period));
         loop {
             let mut all_done = true;
             for (i, accel) in accels.iter_mut().enumerate() {
@@ -276,6 +290,25 @@ impl System {
                     ..Default::default()
                 };
                 self.cores[i].tick(now, &mut empty, &mut self.mem, &mut acks);
+            }
+            // Periodic pressure samples: DRAM row-buffer state and the
+            // per-engine outstanding-request (MSHR) pool occupancy.
+            #[cfg(feature = "trace")]
+            if let Some(s) = sampler.as_mut() {
+                if s.due(now) {
+                    let open = self.mem.dram().open_rows() as u64;
+                    let busy: Vec<u64> = (0..accels.len())
+                        .map(|i| self.mem.accel_outstanding(i, now) as u64)
+                        .collect();
+                    tmu_trace::with(|t| {
+                        let d = t.component("system.dram");
+                        t.event(d, now, tmu_trace::EventKind::DramOpenRows, open);
+                        for (i, b) in busy.iter().enumerate() {
+                            let c = t.component(&format!("system.core{i}.tmu"));
+                            t.event(c, now, tmu_trace::EventKind::MshrBusy, *b);
+                        }
+                    });
+                }
             }
             now += 1;
             if all_done {
@@ -407,7 +440,7 @@ impl System {
     fn collect_stats(&self) -> RunStats {
         let dram = self.mem.dram();
         let row_total = dram.row_hits + dram.row_misses;
-        RunStats {
+        let stats = RunStats {
             cycles: self.cores.iter().map(|c| c.stats.cycles).max().unwrap_or(0),
             cores: self.cores.iter().map(|c| c.stats).collect(),
             dram_bytes: dram.bytes_moved(),
@@ -418,7 +451,19 @@ impl System {
             },
             freq_ghz: self.cfg.core.freq_ghz,
             mem: self.mem.stats(),
-        }
+        };
+        // Publish the end-of-run registry to the installed tracer: the flat
+        // stats dump and the figure pipeline then read one counter system.
+        #[cfg(feature = "trace")]
+        tmu_trace::with(|t| {
+            t.registry_mut().merge(&stats.registry());
+            let (traversals, hop_cycles) = self.mem.mesh().traffic();
+            t.registry_mut()
+                .set_counter("system.noc.traversals", traversals);
+            t.registry_mut()
+                .set_counter("system.noc.hop_cycles", hop_cycles);
+        });
+        stats
     }
 }
 

@@ -1,0 +1,249 @@
+//! Typed, preallocated per-component event ring buffers.
+//!
+//! Every instrumented component of the simulator owns one [`EventRing`].
+//! The ring's storage is allocated once at registration time; the hot
+//! path ([`EventRing::push`]) is a bounds check plus a `Vec` write into
+//! reserved capacity — it never allocates. When the ring is full, further
+//! events are dropped and counted, so a runaway event source degrades the
+//! trace (visibly, via [`EventRing::dropped`]) instead of the run.
+
+/// What an event records. The kind determines how the Chrome exporter
+/// renders it (instant, duration, or counter sample) and how the payload
+/// of the carrying [`TraceEvent`] is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    // -- instant events (payload: kind-specific detail word) --
+    /// A cache access hit a resident line (payload: line address).
+    CacheHit,
+    /// A cache access missed and issued a new fetch (payload: line address).
+    CacheMiss,
+    /// A cache access merged into an in-flight fetch (payload: line address).
+    CacheMerge,
+    /// A DRAM access opened a new row (payload: `channel << 48 | row`).
+    DramRowOpen,
+    /// A DRAM access hit the open row (payload: `channel << 48 | row`).
+    DramRowHit,
+    /// A load/store was delayed by a full load/store queue
+    /// (payload: delay in cycles).
+    LsqStall,
+    /// The core's top-down cycle class changed (payload: 0 committing,
+    /// 1 frontend-stalled, 2 backend-stalled).
+    StallClass,
+    /// An outQ entry was pushed into the current chunk (payload: chunk id).
+    OutQPush,
+    /// The engine spent a cycle stalled on the outQ double-buffer gate
+    /// (payload: chunks the engine is ahead of the core's acks).
+    OutQFull,
+    /// The traversal advanced into a different layer
+    /// (payload: new layer index).
+    LayerTransition,
+    /// TMU context saved (payload: outQ entries produced so far; the event
+    /// cycle carries the completed step count).
+    CtxSave,
+    /// TMU context restored (payload: outQ entries produced before the
+    /// switch; the event cycle carries the replayed step count).
+    CtxRestore,
+
+    // -- duration events (payload: `pack_dur_extra`) --
+    /// A TU issued a new cacheline fetch; the duration is the memory
+    /// latency, the extra word is `layer << 8 | lane`.
+    TuFetch,
+    /// A traversal-group step completed (1-cycle duration; the extra word
+    /// is `layer << 8 | fsm-state` with 0 gbeg, 1 gite, 2 gend, 3 skip).
+    TgStep,
+    /// An outQ chunk was written (duration: open → sealed; extra: chunk id).
+    ChunkWrite,
+    /// An outQ chunk was consumed (duration: sealed → acked; extra:
+    /// chunk id).
+    ChunkRead,
+
+    // -- counter samples (payload: the sampled value) --
+    /// Entries in the engine's currently-open outQ chunk.
+    OutQOccupancy,
+    /// Unacked sealed outQ chunks (double-buffer pressure, 0–2).
+    OutQChunksAhead,
+    /// Busy slots in the accelerator's outstanding-request pool.
+    MshrBusy,
+    /// DRAM banks holding an open row.
+    DramOpenRows,
+}
+
+impl EventKind {
+    /// Whether the payload is a [`pack_dur_extra`] duration word.
+    pub fn is_duration(self) -> bool {
+        matches!(
+            self,
+            EventKind::TuFetch | EventKind::TgStep | EventKind::ChunkWrite | EventKind::ChunkRead
+        )
+    }
+
+    /// Whether the payload is a sampled counter value.
+    pub fn is_counter_sample(self) -> bool {
+        matches!(
+            self,
+            EventKind::OutQOccupancy
+                | EventKind::OutQChunksAhead
+                | EventKind::MshrBusy
+                | EventKind::DramOpenRows
+        )
+    }
+
+    /// The stable display name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheMerge => "cache_merge",
+            EventKind::DramRowOpen => "dram_row_open",
+            EventKind::DramRowHit => "dram_row_hit",
+            EventKind::LsqStall => "lsq_stall",
+            EventKind::StallClass => "stall_class",
+            EventKind::OutQPush => "outq_push",
+            EventKind::OutQFull => "outq_full",
+            EventKind::LayerTransition => "layer_transition",
+            EventKind::CtxSave => "ctx_save",
+            EventKind::CtxRestore => "ctx_restore",
+            EventKind::TuFetch => "tu_fetch",
+            EventKind::TgStep => "tg_step",
+            EventKind::ChunkWrite => "chunk_write",
+            EventKind::ChunkRead => "chunk_read",
+            EventKind::OutQOccupancy => "outq_occupancy",
+            EventKind::OutQChunksAhead => "outq_chunks_ahead",
+            EventKind::MshrBusy => "mshr_busy",
+            EventKind::DramOpenRows => "dram_open_rows",
+        }
+    }
+}
+
+/// Packs a duration event's payload: duration in the low 32 bits (clamped),
+/// a kind-specific extra word in the high 32.
+pub fn pack_dur_extra(dur: u64, extra: u32) -> u64 {
+    (u64::from(extra) << 32) | dur.min(u64::from(u32::MAX))
+}
+
+/// Splits a [`pack_dur_extra`] payload back into `(duration, extra)`.
+pub fn unpack_dur_extra(payload: u64) -> (u64, u32) {
+    (payload & 0xFFFF_FFFF, (payload >> 32) as u32)
+}
+
+/// One traced occurrence: when, where, what, and a kind-specific payload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEvent {
+    /// Simulated cycle of the event.
+    pub cycle: u64,
+    /// Id of the emitting component (index into the tracer's registry).
+    pub component: u32,
+    /// Event kind (also selects the payload interpretation).
+    pub kind: EventKind,
+    /// Kind-specific payload word.
+    pub payload: u64,
+}
+
+/// A bounded, preallocated event buffer with drop counting.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` events; the full backing store
+    /// is allocated here, up front.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event. Never allocates: once the ring is full the event
+    /// is dropped and counted instead.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.buf
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            component: 0,
+            kind: EventKind::CacheHit,
+            payload: cycle * 3,
+        }
+    }
+
+    #[test]
+    fn overflow_counts_drops_without_reallocating() {
+        let mut r = EventRing::new(8);
+        let base = r.buf.as_ptr();
+        let cap = r.buf.capacity();
+        for i in 0..100 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 8, "ring must stay bounded");
+        assert_eq!(r.dropped(), 92);
+        assert_eq!(r.capacity(), 8);
+        // The backing allocation made at construction is still the one in
+        // use: no growth, no reallocation on the hot path.
+        assert_eq!(r.buf.capacity(), cap);
+        assert_eq!(r.buf.as_ptr(), base);
+        // The retained events are the earliest ones, in order.
+        assert_eq!(r.events()[0].cycle, 0);
+        assert_eq!(r.events()[7].cycle, 7);
+    }
+
+    #[test]
+    fn duration_payload_roundtrip() {
+        let p = pack_dur_extra(1234, 0x0203);
+        assert_eq!(unpack_dur_extra(p), (1234, 0x0203));
+        // Durations clamp instead of corrupting the extra word.
+        let p = pack_dur_extra(u64::MAX, 7);
+        assert_eq!(unpack_dur_extra(p), (u64::from(u32::MAX), 7));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

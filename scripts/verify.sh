@@ -14,4 +14,9 @@ echo "== tier-1: build + test =="
 cargo build --release
 cargo test -q
 
+echo "== trace feature: build + test (keeps the gated code from rotting) =="
+cargo build --release --features trace
+cargo test -q -p tmu-trace
+cargo test -q -p tmu-bench --features trace
+
 echo "verify.sh: all gates passed"

@@ -1,0 +1,9 @@
+//! Workspace-root `trace` bin, so the documented invocation works from
+//! the repo root: `cargo run --release --features trace --bin trace --
+//! spmv rmat tmu`. Same wrapper as `tmu-bench`'s — see
+//! [`tmu_bench::tracecli`].
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tmu_bench::tracecli::main(&args)
+}
