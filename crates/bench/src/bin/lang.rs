@@ -1,0 +1,139 @@
+//! `lang` — compile an einsum expression to a TMU program and run it.
+//!
+//! ```text
+//! cargo run --release --bin lang -- "y(i) = A(i,j:csr) * x(j)" [input]
+//! ```
+//!
+//! `input` picks the base matrix every operand is auto-bound from:
+//! `rmat` (default), `uniform`, or `fixed_row`. The tool prints the
+//! iteration graph and merge-lattice decision per loop, the lowered
+//! program layer by layer, then cross-checks the compiled program against
+//! the reference interpreter and simulates both engines.
+
+use std::process::ExitCode;
+
+use tmu_bench::runner::{EngineVariant, InputSpec, Job, Runner};
+use tmu_front::ExprWorkload;
+use tmu_kernels::mapping::features;
+use tmu_kernels::Workload;
+
+fn input_spec(name: &str) -> Option<InputSpec> {
+    match name {
+        "rmat" => Some(InputSpec::Rmat {
+            scale: 9,
+            edges: 4096,
+            seed: 7,
+        }),
+        "uniform" => Some(InputSpec::Uniform {
+            rows: 512,
+            cols: 256,
+            nnz_per_row: 6,
+            seed: 21,
+        }),
+        "fixed_row" => Some(InputSpec::FixedRow {
+            rows: 256,
+            n: 8,
+            seed: 9,
+        }),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(src) = args.first() else {
+        eprintln!("usage: lang \"<expression>\" [rmat|uniform|fixed_row]");
+        return ExitCode::FAILURE;
+    };
+    let input_name = args.get(1).map(String::as_str).unwrap_or("rmat");
+    let Some(input) = input_spec(input_name) else {
+        eprintln!("unknown input {input_name:?} (rmat, uniform, fixed_row)");
+        return ExitCode::FAILURE;
+    };
+
+    // Compile once outside the runner so errors render with their span
+    // and the graph/program can be printed.
+    let base = match input {
+        InputSpec::Rmat { scale, edges, seed } => tmu_tensor::gen::rmat(scale, edges, seed),
+        InputSpec::Uniform {
+            rows,
+            cols,
+            nnz_per_row,
+            seed,
+        } => tmu_tensor::gen::uniform(rows, cols, nnz_per_row, seed),
+        InputSpec::FixedRow { rows, n, seed } => tmu_tensor::gen::fixed_row(rows, n, seed),
+        InputSpec::Table6 { .. } => unreachable!("input_spec never yields Table6"),
+    };
+    let w = match ExprWorkload::new(src, &base) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{}", e.render(src));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("expression   {src}");
+    println!(
+        "base input   {} ({}x{}, {} nnz)",
+        input.label(),
+        base.rows(),
+        base.cols(),
+        base.nnz()
+    );
+    println!("\niteration graph (outermost first):");
+    for l in &w.graph().loops {
+        let out = match l.output_pos {
+            Some(p) => format!("output[{p}]"),
+            None => "reduced".to_owned(),
+        };
+        println!(
+            "  {:<4} {:?}  drivers={}  {}",
+            l.var,
+            l.kind,
+            l.drivers.len(),
+            out
+        );
+    }
+
+    let lowered = w
+        .lowered(8)
+        .expect("workload construction validated lowering");
+    println!("\nlowered program:");
+    for (i, layer) in lowered.program.layers().iter().enumerate() {
+        println!(
+            "  layer {i}: {:?}  lanes={}  operands={}  callbacks={}",
+            layer.mode,
+            layer.tus.len(),
+            layer.operands.len(),
+            layer.callbacks.len()
+        );
+    }
+    println!("  features: {:?}", features(&lowered.program));
+
+    print!("\ncross-check  ");
+    match w.verify() {
+        Ok(()) => println!(
+            "compiled program == interpreter ({} output entries)",
+            w.oracle().len()
+        ),
+        Err(e) => {
+            println!("FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("\nsimulating (baseline-sve vs tmu)...");
+    let runner = Runner::new();
+    let jobs = [
+        Job::expression(src, input, EngineVariant::BaselineSve),
+        Job::expression(src, input, EngineVariant::Tmu),
+    ];
+    let res = runner.run_all(&jobs);
+    let (base_cy, tmu_cy) = (res[0].stats.cycles, res[1].stats.cycles);
+    println!("  baseline-sve  {base_cy:>12} cycles");
+    println!(
+        "  tmu           {tmu_cy:>12} cycles  ({:.2}x)",
+        base_cy as f64 / tmu_cy.max(1) as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -67,6 +67,9 @@ pub struct BenchRow {
     pub machine: String,
     /// Input scale, when the input is a scaled Table 6 stand-in.
     pub scale: Option<f64>,
+    /// Source einsum expression, when the job came from the expression
+    /// front-end rather than a hand-written kernel.
+    pub expr: Option<String>,
     /// Run length in cycles.
     pub cycles: u64,
     /// Committing fraction of the top-down breakdown.
@@ -176,6 +179,12 @@ impl BenchRow {
                 out.push(',');
             }
             None => out.push_str("\"scale\":null,"),
+        }
+        match &self.expr {
+            Some(e) => {
+                str_field!("expr", e);
+            }
+            None => out.push_str("\"expr\":null,"),
         }
         u64_field!("cycles", self.cycles);
         f64_field!("committing", self.committing);

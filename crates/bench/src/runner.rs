@@ -22,9 +22,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use tmu::{OutQSnapshot, TmuConfig};
+use tmu_front::ExprWorkload;
 use tmu_kernels::workload::{KernelKind, Workload};
 use tmu_sim::{configs, RunStats, SystemConfig};
-use tmu_tensor::gen::{self, InputId};
+use tmu_tensor::gen::{self, InputId, ScaledInput};
 
 use crate::json::BenchRow;
 use crate::{matrix_kernel, matrix_workload_at, tensor_workload_at};
@@ -140,6 +141,10 @@ pub struct Job {
     /// TMU configuration (ignored by baseline variants; [`Job::key`]
     /// canonicalizes it away for them so memoization still coalesces).
     pub tmu: TmuConfig,
+    /// Source einsum expression when the workload is compiled by the
+    /// expression front-end instead of dispatched to a hand-written
+    /// kernel. `None` for kernel jobs.
+    pub expr: Option<String>,
 }
 
 impl Job {
@@ -151,6 +156,19 @@ impl Job {
             engine,
             sys: configs::neoverse_n1_system(),
             tmu: TmuConfig::paper(),
+            expr: None,
+        }
+    }
+
+    /// A job whose workload is compiled from `expr` by the expression
+    /// front-end ([`tmu_front::ExprWorkload`]) over the base matrix named
+    /// by `input`; remaining operands are auto-bound from it. The kernel
+    /// column reports `"expr"` and `bench.json` rows carry the source
+    /// expression verbatim.
+    pub fn expression(expr: &str, input: InputSpec, engine: EngineVariant) -> Self {
+        Self {
+            expr: Some(expr.to_owned()),
+            ..Self::new("expr", input, engine)
         }
     }
 
@@ -187,12 +205,33 @@ impl Job {
     pub fn key(&self) -> String {
         let tmu = self.engine.uses_tmu_config().then_some(&self.tmu);
         format!(
-            "{}|{:?}|{:?}|{:?}|{:?}",
-            self.kernel, self.input, self.engine, self.sys, tmu
+            "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.kernel, self.input, self.engine, self.sys, tmu, self.expr
         )
     }
 
+    /// The base matrix `input` names (expression jobs auto-bind every
+    /// operand from it).
+    fn base_matrix(&self) -> tmu_tensor::CsrMatrix {
+        match self.input {
+            InputSpec::Table6 { id, scale } => ScaledInput::new(id).with_scale(scale).matrix(),
+            InputSpec::FixedRow { rows, n, seed } => gen::fixed_row(rows, n, seed),
+            InputSpec::Uniform {
+                rows,
+                cols,
+                nnz_per_row,
+                seed,
+            } => gen::uniform(rows, cols, nnz_per_row, seed),
+            InputSpec::Rmat { scale, edges, seed } => gen::rmat(scale, edges, seed),
+        }
+    }
+
     fn build(&self) -> Box<dyn Workload> {
+        if let Some(src) = &self.expr {
+            let w = ExprWorkload::new(src, &self.base_matrix())
+                .unwrap_or_else(|e| panic!("expression does not compile:\n{}", e.render(src)));
+            return Box::new(w);
+        }
         match self.input {
             InputSpec::Table6 { id, scale } => {
                 if InputId::MATRICES.contains(&id) {
@@ -201,17 +240,8 @@ impl Job {
                     tensor_workload_at(self.kernel, id, scale)
                 }
             }
-            InputSpec::FixedRow { rows, n, seed } => {
-                matrix_kernel(self.kernel, &gen::fixed_row(rows, n, seed))
-            }
-            InputSpec::Uniform {
-                rows,
-                cols,
-                nnz_per_row,
-                seed,
-            } => matrix_kernel(self.kernel, &gen::uniform(rows, cols, nnz_per_row, seed)),
-            InputSpec::Rmat { scale, edges, seed } => {
-                matrix_kernel(self.kernel, &gen::rmat(scale, edges, seed))
+            InputSpec::FixedRow { .. } | InputSpec::Uniform { .. } | InputSpec::Rmat { .. } => {
+                matrix_kernel(self.kernel, &self.base_matrix())
             }
         }
     }
@@ -309,6 +339,7 @@ pub fn bench_row(figure: &str, machine: &str, job: &Job, res: &RunResult) -> Ben
         engine: job.engine.label().to_owned(),
         machine: machine.to_owned(),
         scale: job.input.scale(),
+        expr: job.expr.clone(),
         cycles: res.stats.cycles,
         committing,
         frontend,
@@ -615,6 +646,66 @@ mod tests {
         assert!(a.contains("\"name\":\"tu_fetch\",\"ph\":\"X\""), "{a}");
         assert!(a.contains("\"name\":\"outq_occupancy\",\"ph\":\"C\""));
         assert!(a.contains("system.core0.tmu"));
+    }
+
+    #[test]
+    fn expression_jobs_run_and_memoize_by_source() {
+        let input = InputSpec::Uniform {
+            rows: 128,
+            cols: 96,
+            nnz_per_row: 4,
+            seed: 9,
+        };
+        let spmv = Job::expression("y(i) = A(i,j:csr) * x(j)", input, EngineVariant::Tmu);
+        let add = Job::expression(
+            "Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr)",
+            input,
+            EngineVariant::BaselineSve,
+        );
+        assert_ne!(spmv.key(), add.key(), "source text must split the cache");
+        let runner = Runner::with_workers(2);
+        let res = runner.run_all(&[spmv.clone(), add.clone(), spmv.clone()]);
+        assert_eq!(runner.simulations(), 2, "duplicate expression memoized");
+        assert!(res[0].stats.cycles > 0 && res[1].stats.cycles > 0);
+        assert!(res[0].outq.iter().map(|o| o.entries).sum::<u64>() > 0);
+        let row = bench_row("figX", "table5", &spmv, &res[0]);
+        assert_eq!(row.expr.as_deref(), Some("y(i) = A(i,j:csr) * x(j)"));
+        assert_eq!(row.kernel, "expr");
+        let mut body = String::new();
+        crate::json::record("zz_expr_fig", vec![row]);
+        body.push_str(&crate::json::render_bench_json());
+        crate::json::validate(&body).expect("bench.json with expr rows is well-formed");
+        assert!(
+            body.contains("\"expr\":\"y(i) = A(i,j:csr) * x(j)\""),
+            "{body}"
+        );
+    }
+
+    /// The trace feature composes with compiled expressions: a traced
+    /// expression job exports a well-formed Chrome trace, same as the
+    /// hand-written kernels.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_expression_job_exports_valid_chrome_trace() {
+        use tmu_trace::{TraceConfig, Tracer};
+        let job = Job::expression(
+            "y(i) = A(i,j:csr) * x(j)",
+            InputSpec::Rmat {
+                scale: 8,
+                edges: 2048,
+                seed: 7,
+            },
+            EngineVariant::Tmu,
+        );
+        tmu_trace::install(Tracer::new(TraceConfig::default()));
+        Runner::with_workers(1).run(&job);
+        let tracer = tmu_trace::uninstall().expect("tracer installed");
+        let json = tracer.chrome_json();
+        crate::json::validate(&json).expect("well-formed trace-event JSON");
+        assert!(
+            json.contains("\"name\":\"tu_fetch\",\"ph\":\"X\""),
+            "{json}"
+        );
     }
 
     #[test]

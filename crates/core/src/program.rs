@@ -306,6 +306,31 @@ pub enum ProgramError {
     },
     /// A `map` stream exceeds the 16-entry hardware table.
     MapTooLarge,
+    /// Two callbacks are registered for the same event of one layer: the
+    /// outQ tags entries with `(layer, event)`, so the second registration
+    /// could never be distinguished by the core.
+    DuplicateCallback {
+        /// Layer index.
+        layer: usize,
+        /// The doubly-registered event.
+        event: Event,
+    },
+    /// A TU references a parent lane beyond the previous layer's TUs.
+    BadParentLane {
+        /// Layer index.
+        layer: usize,
+        /// Lane index of the offending TU.
+        lane: usize,
+        /// The out-of-range parent lane.
+        parent_lane: usize,
+    },
+    /// A callback references an operand id the layer never defined.
+    CallbackOperandOutOfRange {
+        /// Layer index.
+        layer: usize,
+        /// The out-of-range operand index.
+        operand: usize,
+    },
     /// The program has no layers.
     Empty,
 }
@@ -328,6 +353,24 @@ impl fmt::Display for ProgramError {
                 write!(f, "layer {layer} is Single/Keep but has several TUs")
             }
             ProgramError::MapTooLarge => write!(f, "map stream exceeds 16 entries"),
+            ProgramError::DuplicateCallback { layer, event } => {
+                write!(f, "layer {layer} registers two callbacks for {event:?}")
+            }
+            ProgramError::BadParentLane {
+                layer,
+                lane,
+                parent_lane,
+            } => write!(
+                f,
+                "layer {layer} lane {lane} binds parent lane {parent_lane}, \
+                 which the previous layer does not have"
+            ),
+            ProgramError::CallbackOperandOutOfRange { layer, operand } => {
+                write!(
+                    f,
+                    "layer {layer} callback references undefined operand {operand}"
+                )
+            }
             ProgramError::Empty => write!(f, "program has no layers"),
         }
     }
@@ -633,6 +676,20 @@ impl ProgramBuilder {
                 return Err(ProgramError::SingleLaneModeWithManyTus { layer: li });
             }
             for (lane, tu) in layer.tus.iter().enumerate() {
+                // Parent lanes index the previous layer's TUs (the root
+                // layer has an implicit single-lane parent).
+                let parent_lanes = if li == 0 {
+                    1
+                } else {
+                    self.layers[li - 1].tus.len()
+                };
+                if tu.parent_lane >= parent_lanes {
+                    return Err(ProgramError::BadParentLane {
+                        layer: li,
+                        lane,
+                        parent_lane: tu.parent_lane,
+                    });
+                }
                 match tu.traversal {
                     TraversalDef::Dns { .. } => {}
                     TraversalDef::Rng { beg, end, .. } => {
@@ -700,6 +757,24 @@ impl ProgramBuilder {
                     }
                     OperandDef::Scalar { stream } => self.check_ref(*stream)?,
                     OperandDef::Mask => {}
+                }
+            }
+            let mut seen_events: Vec<Event> = Vec::new();
+            for cb in &layer.callbacks {
+                if seen_events.contains(&cb.event) {
+                    return Err(ProgramError::DuplicateCallback {
+                        layer: li,
+                        event: cb.event,
+                    });
+                }
+                seen_events.push(cb.event);
+                for op in &cb.operands {
+                    if op.0 >= layer.operands.len() {
+                        return Err(ProgramError::CallbackOperandOutOfRange {
+                            layer: li,
+                            operand: op.0,
+                        });
+                    }
                 }
             }
         }
@@ -816,6 +891,81 @@ mod tests {
             bld.build().unwrap_err(),
             ProgramError::SingleLaneModeWithManyTus { layer: 0 }
         ));
+    }
+
+    #[test]
+    fn duplicate_callback_on_same_event_rejected() {
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let t = bld.dns_fbrt(l0, 0, 4, 1);
+        let ite = bld.ite(t);
+        let op = bld.vec_operand(l0, &[ite]);
+        bld.callback(l0, Event::Ite, 0, &[op]);
+        bld.callback(l0, Event::Ite, 1, &[op]);
+        assert_eq!(
+            bld.build().unwrap_err(),
+            ProgramError::DuplicateCallback {
+                layer: 0,
+                event: Event::Ite
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_events_on_one_layer_allowed() {
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let t = bld.dns_fbrt(l0, 0, 4, 1);
+        let ite = bld.ite(t);
+        let op = bld.vec_operand(l0, &[ite]);
+        bld.callback(l0, Event::Beg, 0, &[op]);
+        bld.callback(l0, Event::Ite, 1, &[op]);
+        bld.callback(l0, Event::End, 2, &[]);
+        bld.build().expect("one callback per event is fine");
+    }
+
+    #[test]
+    fn out_of_range_parent_lane_rejected() {
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let t0 = bld.dns_fbrt(l0, 0, 4, 1);
+        let p0 = bld.mem_stream(t0, 0x1000, 4, StreamTy::Index);
+        let p1 = bld.mem_stream(t0, 0x1004, 4, StreamTy::Index);
+        let l1 = bld.layer(LayerMode::Single);
+        let t1 = bld.rng_fbrt(l1, p0, p1, 0, 1);
+        // The parent layer has one lane; lane 3 does not exist.
+        bld.bind_parent(t1, 3);
+        assert_eq!(
+            bld.build().unwrap_err(),
+            ProgramError::BadParentLane {
+                layer: 1,
+                lane: 0,
+                parent_lane: 3
+            }
+        );
+    }
+
+    #[test]
+    fn callback_operand_out_of_range_rejected() {
+        let mut bld = ProgramBuilder::new();
+        let l0 = bld.layer(LayerMode::Single);
+        let t0 = bld.dns_fbrt(l0, 0, 4, 1);
+        let p0 = bld.mem_stream(t0, 0x1000, 4, StreamTy::Index);
+        let p1 = bld.mem_stream(t0, 0x1004, 4, StreamTy::Index);
+        let l1 = bld.layer(LayerMode::Single);
+        let t1 = bld.rng_fbrt(l1, p0, p1, 0, 1);
+        let ite = bld.ite(t1);
+        // Operand defined on layer 1, callback registered on layer 0,
+        // which has no operands at all.
+        let op = bld.vec_operand(l1, &[ite]);
+        bld.callback(l0, Event::Ite, 0, &[op]);
+        assert_eq!(
+            bld.build().unwrap_err(),
+            ProgramError::CallbackOperandOutOfRange {
+                layer: 0,
+                operand: 0
+            }
+        );
     }
 
     #[test]

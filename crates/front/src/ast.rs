@@ -1,0 +1,104 @@
+//! Typed AST of einsum expressions with format annotations.
+
+use tmu_tensor::level::FormatDescriptor;
+
+/// A byte range into the source expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// A zero-width span at `at`.
+    pub fn point(at: usize) -> Self {
+        Self { start: at, end: at }
+    }
+}
+
+/// One index slot of an access: the variable name plus an optional
+/// format annotation (`j:csr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Index {
+    /// Index variable name.
+    pub name: String,
+    /// Annotation as written, if any.
+    pub annotation: Option<String>,
+    /// Source range of the slot.
+    pub span: Span,
+}
+
+/// A tensor access `A(i,j:csr)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Tensor name.
+    pub tensor: String,
+    /// Index slots in storage order.
+    pub indices: Vec<Index>,
+    /// Resolved whole-tensor format (annotation or per-rank default).
+    pub format: FormatDescriptor,
+    /// Source range of the whole access.
+    pub span: Span,
+}
+
+impl Access {
+    /// Tensor order of the access.
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Index variable names in storage order.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indices.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    /// Whether level `l` has data-dependent (compressed) traversal.
+    pub fn level_is_sparse(&self, l: usize) -> bool {
+        self.format.levels()[l].is_data_dependent()
+    }
+
+    /// Position of index variable `var` in this access, if present.
+    pub fn level_of(&self, var: &str) -> Option<usize> {
+        self.indices.iter().position(|i| i.name == var)
+    }
+}
+
+/// A parsed, validated expression: `output = Σ_terms Π_factors access`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Left-hand-side access (the result).
+    pub output: Access,
+    /// Sum of products: each term is a non-empty list of factors.
+    pub terms: Vec<Vec<Access>>,
+    /// The source text.
+    pub text: String,
+}
+
+impl Expr {
+    /// All right-hand-side accesses, term-major.
+    pub fn rhs_accesses(&self) -> impl Iterator<Item = &Access> {
+        self.terms.iter().flatten()
+    }
+
+    /// Index variables reduced away (bound on the right, absent on the
+    /// left), in first-appearance order.
+    pub fn reduction_indices(&self) -> Vec<String> {
+        let out: Vec<&str> = self.output.index_names();
+        let mut red = Vec::new();
+        for a in self.rhs_accesses() {
+            for ix in &a.indices {
+                if !out.contains(&ix.name.as_str()) && !red.contains(&ix.name) {
+                    red.push(ix.name.clone());
+                }
+            }
+        }
+        red
+    }
+}

@@ -1,0 +1,362 @@
+//! Reference interpreter: executes the iteration graph directly against
+//! bound tensor storage.
+//!
+//! Every term is evaluated by a recursive co-iteration in the graph's
+//! loop order — compressed fibers of the same term intersect
+//! conjunctively (sorted two-pointer style), dense operands are gathered
+//! at the merged coordinates — and terms accumulate disjunctively into a
+//! coordinate-keyed output map. This is the oracle the TMU code
+//! generator is differentially tested against.
+
+use std::collections::BTreeMap;
+
+use crate::ast::Expr;
+use crate::bindings::{Bindings, LevelData, TensorData};
+use crate::graph::IterationGraph;
+use crate::{ErrorKind, FrontError};
+
+/// One factor's participation in a loop.
+#[derive(Debug, Clone, Copy)]
+struct Part {
+    factor: usize,
+    level: usize,
+    sparse: bool,
+}
+
+struct TermEval<'a> {
+    datas: Vec<&'a TensorData>,
+    /// Participants per graph loop (empty when the term skips the var).
+    parts: Vec<Vec<Part>>,
+    out_pos: Vec<Option<usize>>,
+}
+
+/// Evaluates `expr` against `binds`, returning the output as a map from
+/// output coordinates (in output index order) to values.
+pub fn evaluate(
+    expr: &Expr,
+    graph: &IterationGraph,
+    binds: &Bindings,
+) -> Result<BTreeMap<Vec<u32>, f64>, FrontError> {
+    let mut out = BTreeMap::new();
+    for term in &expr.terms {
+        // Bind and validate the term's factors.
+        let mut datas = Vec::with_capacity(term.len());
+        for a in term {
+            let d = binds.get(&a.tensor, a.span)?;
+            if d.order() != a.rank() {
+                return Err(FrontError::new(
+                    ErrorKind::Binding,
+                    a.span,
+                    format!(
+                        "{} is bound with order {} but accessed with rank {}",
+                        a.tensor,
+                        d.order(),
+                        a.rank()
+                    ),
+                ));
+            }
+            for (l, ix) in a.indices.iter().enumerate() {
+                if a.level_is_sparse(l) != d.is_compressed(l) {
+                    return Err(FrontError::new(
+                        ErrorKind::Binding,
+                        ix.span,
+                        format!(
+                            "{} level {l} is annotated {} but bound {}",
+                            a.tensor,
+                            if a.level_is_sparse(l) {
+                                "compressed"
+                            } else {
+                                "dense"
+                            },
+                            if d.is_compressed(l) {
+                                "compressed"
+                            } else {
+                                "dense"
+                            },
+                        ),
+                    ));
+                }
+            }
+            datas.push(d);
+        }
+        // Participants per loop, plus dimension agreement per variable.
+        let mut parts = Vec::with_capacity(graph.loops.len());
+        for l in &graph.loops {
+            let mut ps = Vec::new();
+            let mut dim: Option<usize> = None;
+            for (f, a) in term.iter().enumerate() {
+                if let Some(lv) = a.level_of(&l.var) {
+                    let d = datas[f].dims[lv];
+                    if let Some(prev) = dim {
+                        if prev != d {
+                            return Err(FrontError::new(
+                                ErrorKind::Binding,
+                                a.indices[lv].span,
+                                format!(
+                                    "index {:?} spans {d} in {} but {prev} elsewhere",
+                                    l.var, a.tensor
+                                ),
+                            ));
+                        }
+                    }
+                    dim = Some(d);
+                    ps.push(Part {
+                        factor: f,
+                        level: lv,
+                        sparse: a.level_is_sparse(lv),
+                    });
+                }
+            }
+            parts.push(ps);
+        }
+        let ev = TermEval {
+            datas,
+            parts,
+            out_pos: graph.loops.iter().map(|l| l.output_pos).collect(),
+        };
+        let mut pos = vec![0usize; term.len()];
+        let mut key = vec![0u32; expr.output.rank()];
+        walk(&ev, 0, &mut pos, &mut key, &mut out);
+    }
+    Ok(out)
+}
+
+fn walk(
+    ev: &TermEval<'_>,
+    depth: usize,
+    pos: &mut Vec<usize>,
+    key: &mut Vec<u32>,
+    out: &mut BTreeMap<Vec<u32>, f64>,
+) {
+    if depth == ev.parts.len() {
+        let v = ev
+            .datas
+            .iter()
+            .zip(pos.iter())
+            .fold(1.0f64, |acc, (d, &p)| acc * d.value(p));
+        match out.entry(key.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(v);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += v;
+            }
+        }
+        return;
+    }
+    let ps = &ev.parts[depth];
+    if ps.is_empty() {
+        // The term does not bind this variable (another term's loop).
+        walk(ev, depth + 1, pos, key, out);
+        return;
+    }
+    let saved: Vec<usize> = ps.iter().map(|p| pos[p.factor]).collect();
+    let drivers: Vec<&Part> = ps.iter().filter(|p| p.sparse).collect();
+
+    let emit = |c: u32,
+                driver_pos: &[(usize, usize)],
+                pos: &mut Vec<usize>,
+                key: &mut Vec<u32>,
+                out: &mut BTreeMap<Vec<u32>, f64>| {
+        for &(f, p) in driver_pos {
+            pos[f] = p;
+        }
+        for part in ps.iter().filter(|p| !p.sparse) {
+            let size = match &ev.datas[part.factor].levels[part.level] {
+                LevelData::Dense { size } => *size,
+                LevelData::Compressed { .. } => unreachable!("dense participant"),
+            };
+            pos[part.factor] = saved[ps
+                .iter()
+                .position(|q| q.factor == part.factor)
+                .expect("present")]
+                * size
+                + c as usize;
+        }
+        if let Some(op) = ev.out_pos[depth] {
+            key[op] = c;
+        }
+        walk(ev, depth + 1, pos, key, out);
+    };
+
+    match drivers.len() {
+        0 => {
+            let size = match &ev.datas[ps[0].factor].levels[ps[0].level] {
+                LevelData::Dense { size } => *size,
+                LevelData::Compressed { .. } => unreachable!("no drivers"),
+            };
+            for c in 0..size {
+                emit(c as u32, &[], pos, key, out);
+            }
+        }
+        1 => {
+            let d = drivers[0];
+            let data = ev.datas[d.factor];
+            let (b, e) = data.fiber(
+                d.level,
+                saved[ps
+                    .iter()
+                    .position(|q| q.factor == d.factor)
+                    .expect("present")],
+            );
+            for p in b..e {
+                emit(data.coord(d.level, p), &[(d.factor, p)], pos, key, out);
+            }
+        }
+        _ => {
+            // Conjunctive merge: sorted intersection of all driver fibers.
+            let fibers: Vec<(usize, usize)> = drivers
+                .iter()
+                .map(|d| {
+                    ev.datas[d.factor].fiber(
+                        d.level,
+                        saved[ps
+                            .iter()
+                            .position(|q| q.factor == d.factor)
+                            .expect("present")],
+                    )
+                })
+                .collect();
+            let mut heads: Vec<usize> = fibers.iter().map(|&(b, _)| b).collect();
+            'merge: loop {
+                // Current maximum head coordinate across drivers.
+                let mut target = 0u32;
+                for (i, d) in drivers.iter().enumerate() {
+                    if heads[i] >= fibers[i].1 {
+                        break 'merge;
+                    }
+                    target = target.max(ev.datas[d.factor].coord(d.level, heads[i]));
+                }
+                // Advance everyone to the target; restart if any overshoots.
+                let mut matched = true;
+                for (i, d) in drivers.iter().enumerate() {
+                    let data = ev.datas[d.factor];
+                    while heads[i] < fibers[i].1 && data.coord(d.level, heads[i]) < target {
+                        heads[i] += 1;
+                    }
+                    if heads[i] >= fibers[i].1 {
+                        break 'merge;
+                    }
+                    if data.coord(d.level, heads[i]) != target {
+                        matched = false;
+                    }
+                }
+                if matched {
+                    let dp: Vec<(usize, usize)> = drivers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| (d.factor, heads[i]))
+                        .collect();
+                    emit(target, &dp, pos, key, out);
+                    for h in heads.iter_mut() {
+                        *h += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Restore parent positions for the caller's next coordinate.
+    for (p, &s) in ps.iter().zip(&saved) {
+        pos[p.factor] = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::auto_bind;
+    use crate::parse::parse;
+    use tmu_tensor::gen;
+
+    fn run(src: &str, base: &tmu_tensor::CsrMatrix) -> BTreeMap<Vec<u32>, f64> {
+        let e = parse(src).expect("valid");
+        let g = IterationGraph::build(&e).expect("acyclic");
+        let b = auto_bind(&e, base).expect("binds");
+        evaluate(&e, &g, &b.binds).expect("evaluates")
+    }
+
+    #[test]
+    fn spmv_matches_dense_oracle() {
+        let a = gen::uniform(32, 24, 3, 7);
+        let out = run("y(i) = A(i,j:csr) * x(j)", &a);
+        let x: Vec<f64> = (0..24).map(|j| 0.5 + (j % 97) as f64 / 97.0).collect();
+        for i in 0..32usize {
+            let want: f64 = a.row(i).map(|(c, v)| v * x[c as usize]).sum();
+            let got = out.get(&vec![i as u32]).copied().unwrap_or(0.0);
+            assert!((got - want).abs() < 1e-9, "row {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn conjunctive_merge_matches() {
+        let a = gen::uniform(24, 40, 4, 9);
+        let out = run("y(i) = A(i,j:csr) * x(j:sparse)", &a);
+        // Reconstruct the sparse vector exactly as auto_bind does.
+        let xi: Vec<u32> = (0..40).step_by(5).map(|j| j as u32).collect();
+        let xv: Vec<f64> = xi.iter().map(|&j| 0.5 + (j % 67) as f64 / 67.0).collect();
+        for i in 0..24usize {
+            let want: f64 = a
+                .row(i)
+                .filter_map(|(c, v)| xi.binary_search(&c).ok().map(|k| v * xv[k]))
+                .sum();
+            let got = out.get(&vec![i as u32]).copied().unwrap_or(0.0);
+            assert!((got - want).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn disjunctive_sum_matches() {
+        let base = gen::uniform(64, 32, 3, 11);
+        let out = run("Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr)", &base);
+        // Term t covers base rows i*2 + t.
+        for (key, v) in &out {
+            let (i, j) = (key[0] as usize, key[1]);
+            let want: f64 = (0..2)
+                .flat_map(|t| base.row(i * 2 + t).filter(move |&(c, _)| c == j))
+                .map(|(_, v)| v)
+                .sum();
+            assert!((v - want).abs() < 1e-9, "({i},{j})");
+        }
+        let nnz: usize = (0..64).map(|i| base.row(i).count()).sum();
+        assert!(out.len() <= nnz);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn three_level_contraction_runs() {
+        let base = gen::uniform(24, 16, 3, 13);
+        let out = run("y(i) = A(i,j:csr) * T(j,k,l:csf) * x(l:dense)", &base);
+        assert!(!out.is_empty());
+        // Spot-check against a brute-force contraction.
+        let e = parse("y(i) = A(i,j:csr) * T(j,k,l:csf) * x(l:dense)").expect("valid");
+        let b = auto_bind(&e, &base).expect("binds");
+        let t = b.binds.get("T", crate::Span::point(0)).expect("T");
+        let x = b.binds.get("x", crate::Span::point(0)).expect("x");
+        // Dense T for the oracle.
+        let mut dense_t = vec![vec![vec![0.0f64; t.dims[2]]; t.dims[1]]; t.dims[0]];
+        let (jb, je) = t.fiber(0, 0);
+        for jp in jb..je {
+            let j = t.coord(0, jp) as usize;
+            let (kb, ke) = t.fiber(1, jp);
+            for kp in kb..ke {
+                let k = t.coord(1, kp) as usize;
+                let (lb, le) = t.fiber(2, kp);
+                for lp in lb..le {
+                    dense_t[j][k][t.coord(2, lp) as usize] = t.value(lp);
+                }
+            }
+        }
+        for i in 0..24usize {
+            let mut want = 0.0;
+            for (j, av) in base.row(i) {
+                for fiber in &dense_t[j as usize] {
+                    for (l, tv) in fiber.iter().enumerate() {
+                        want += av * tv * x.value(l);
+                    }
+                }
+            }
+            let got = out.get(&vec![i as u32]).copied().unwrap_or(0.0);
+            assert!((got - want).abs() < 1e-9, "row {i}: {got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Einsum front-end for the TMU reproduction.
+//!
+//! The paper programs the TMU by hand, one Figure 8 configuration per
+//! kernel; this crate makes the engine *programmable*: it parses
+//! einsum-style expressions with format annotations —
+//!
+//! ```text
+//! y(i) = A(i,j:csr) * x(j)
+//! Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr) + C(i,j:dcsr)
+//! ```
+//!
+//! — builds an iteration graph with a merge lattice per index variable
+//! (conjunctive for products, disjunctive for sums, lockstep for
+//! vectorized scans: the semantics pinned in `tmu_tensor::merge`), and
+//! lowers it through two backends:
+//!
+//! 1. [`interp::evaluate`] — a reference interpreter executing the
+//!    iteration graph directly against the bound tensor storage;
+//! 2. [`lower::lower`] — a code generator emitting a [`tmu::Program`]
+//!    via the existing `ProgramBuilder`, one layer per loop level, with a
+//!    generic [`lower::ExprHandler`] carrying the host-side compute.
+//!
+//! Malformed input never panics: every failure is a [`FrontError`] with a
+//! byte span into the source text.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod bindings;
+pub mod graph;
+pub mod interp;
+pub mod lower;
+pub mod parse;
+pub mod workload;
+
+use std::error::Error;
+use std::fmt;
+
+pub use ast::{Access, Expr, Span};
+pub use bindings::{Bindings, TensorData};
+pub use graph::{IterationGraph, LoopKind};
+pub use lower::{ExprHandler, Lowered};
+pub use workload::ExprWorkload;
+
+/// What went wrong, coarsely (the message carries the detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The text does not match the expression grammar.
+    Parse,
+    /// The right-hand side is missing entirely.
+    EmptyRhs,
+    /// A format annotation names no known format.
+    UnknownFormat,
+    /// A format annotation (or reuse of a tensor) contradicts the rank.
+    RankMismatch,
+    /// An output index is not bound by every right-hand-side term.
+    UnboundIndex,
+    /// An index repeats within a single access.
+    DuplicateIndex,
+    /// The expression is valid but outside what a backend can lower.
+    Unsupported,
+    /// Tensor data bound to the expression does not fit it.
+    Binding,
+}
+
+/// A spanned front-end error. `span` is a byte range into the source
+/// expression (`start == end` marks a point, e.g. unexpected end of
+/// input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// Error category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte range of the offending text.
+    pub span: Span,
+}
+
+impl FrontError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, span: Span, msg: impl Into<String>) -> Self {
+        Self {
+            kind,
+            msg: msg.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a caret line under the offending span.
+    pub fn render(&self, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let end = self.span.end.clamp(start, src.len());
+        let mut caret = String::new();
+        for _ in 0..start {
+            caret.push(' ');
+        }
+        for _ in start..end.max(start + 1) {
+            caret.push('^');
+        }
+        format!("error: {}\n  {}\n  {}", self.msg, src, caret)
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} error at {}..{}: {}",
+            self.kind, self.span.start, self.span.end, self.msg
+        )
+    }
+}
+
+impl Error for FrontError {}

@@ -1,0 +1,438 @@
+//! Parser for einsum expressions with format annotations.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := access '=' sum
+//! sum     := product ('+' product)*
+//! product := access ('*' access)*
+//! access  := ident '(' index (',' index)* ')'
+//! index   := ident (':' ident)?
+//! ```
+//!
+//! Parsing never panics: every failure is a spanned [`FrontError`].
+//! Beyond the grammar, [`parse`] validates the expression semantically —
+//! annotations must name known formats of the right rank, a tensor reused
+//! across accesses must keep one rank and format, output indices must not
+//! repeat and must be bound by every term.
+
+use tmu_tensor::level::{FormatDescriptor, KNOWN_ANNOTATIONS};
+
+use crate::ast::{Access, Expr, Index, Span};
+use crate::{ErrorKind, FrontError};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Eq,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Plus,
+    Star,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    span: Span,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let single = match c {
+            '=' => Some(Tok::Eq),
+            '(' => Some(Tok::LParen),
+            ')' => Some(Tok::RParen),
+            ',' => Some(Tok::Comma),
+            ':' => Some(Tok::Colon),
+            '+' => Some(Tok::Plus),
+            '*' => Some(Tok::Star),
+            _ => None,
+        };
+        if let Some(tok) = single {
+            toks.push(Token {
+                tok,
+                span: Span::new(i, i + 1),
+            });
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                tok: Tok::Ident(src[start..i].to_owned()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        return Err(FrontError::new(
+            ErrorKind::Parse,
+            Span::new(i, i + 1),
+            format!("unexpected character {c:?}"),
+        ));
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn span_here(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(Span::point(self.end))
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Span, FrontError> {
+        match self.toks.get(self.pos) {
+            Some(t) if t.tok == *want => {
+                self.pos += 1;
+                Ok(t.span)
+            }
+            _ => Err(FrontError::new(
+                ErrorKind::Parse,
+                self.span_here(),
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), FrontError> {
+        match self.toks.get(self.pos) {
+            Some(Token {
+                tok: Tok::Ident(s),
+                span,
+            }) => {
+                self.pos += 1;
+                Ok((s.clone(), *span))
+            }
+            _ => Err(FrontError::new(
+                ErrorKind::Parse,
+                self.span_here(),
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    /// `access := ident '(' index (',' index)* ')'`, format unresolved.
+    fn access(&mut self) -> Result<(String, Vec<Index>, Span), FrontError> {
+        let (tensor, tspan) = self.ident("a tensor name")?;
+        self.expect(&Tok::LParen, "'(' after the tensor name")?;
+        let mut indices = Vec::new();
+        loop {
+            let (name, ispan) = self.ident("an index variable")?;
+            let mut span = ispan;
+            let mut annotation = None;
+            if self.peek() == Some(&Tok::Colon) {
+                self.bump();
+                let (fmt, fspan) = self.ident("a format annotation after ':'")?;
+                span = Span::new(ispan.start, fspan.end);
+                annotation = Some((fmt, fspan));
+            }
+            indices.push((name, annotation, span));
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let close = self.expect(&Tok::RParen, "')' closing the index list")?;
+        let span = Span::new(tspan.start, close.end);
+        let indices = indices
+            .into_iter()
+            .map(|(name, ann, span)| Index {
+                name,
+                annotation: ann.map(|(f, _)| f),
+                span,
+            })
+            .collect();
+        Ok((tensor, indices, span))
+    }
+}
+
+/// Resolves the format of one rhs access from its annotations.
+fn resolve_format(
+    tensor: &str,
+    indices: &[Index],
+    spans: &[Span],
+) -> Result<FormatDescriptor, FrontError> {
+    let rank = indices.len();
+    let mut chosen: Option<(&str, Span)> = None;
+    for (ix, &span) in indices.iter().zip(spans) {
+        if let Some(ann) = &ix.annotation {
+            match chosen {
+                Some((prev, _)) if prev != ann.as_str() => {
+                    return Err(FrontError::new(
+                        ErrorKind::Parse,
+                        span,
+                        format!("conflicting format annotations {prev:?} and {ann:?} on {tensor}"),
+                    ));
+                }
+                _ => chosen = Some((ann.as_str(), span)),
+            }
+        }
+    }
+    match chosen {
+        None => FormatDescriptor::default_for_rank(rank).ok_or_else(|| {
+            FrontError::new(
+                ErrorKind::RankMismatch,
+                spans.first().copied().unwrap_or(Span::point(0)),
+                format!("{tensor} has no indices"),
+            )
+        }),
+        Some((name, span)) => {
+            if !KNOWN_ANNOTATIONS.contains(&name) {
+                return Err(FrontError::new(
+                    ErrorKind::UnknownFormat,
+                    span,
+                    format!("unknown format {name:?} (known: {KNOWN_ANNOTATIONS:?})"),
+                ));
+            }
+            FormatDescriptor::from_annotation(name, rank).ok_or_else(|| {
+                FrontError::new(
+                    ErrorKind::RankMismatch,
+                    span,
+                    format!("format {name:?} cannot describe a rank-{rank} tensor"),
+                )
+            })
+        }
+    }
+}
+
+/// Parses and validates `src` into an [`Expr`].
+///
+/// # Errors
+///
+/// Returns a spanned [`FrontError`] on any malformed input; this function
+/// never panics.
+pub fn parse(src: &str) -> Result<Expr, FrontError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        end: src.len(),
+    };
+
+    // Output access.
+    let (out_tensor, out_indices, out_span) = p.access()?;
+    for ix in &out_indices {
+        if let Some(ann) = &ix.annotation {
+            return Err(FrontError::new(
+                ErrorKind::Unsupported,
+                ix.span,
+                format!("format annotation {ann:?} on the output is not supported (the result is always a dense coordinate map)"),
+            ));
+        }
+    }
+    // Duplicate output index.
+    for (n, ix) in out_indices.iter().enumerate() {
+        if out_indices[..n].iter().any(|o| o.name == ix.name) {
+            return Err(FrontError::new(
+                ErrorKind::DuplicateIndex,
+                ix.span,
+                format!("output index {:?} repeats", ix.name),
+            ));
+        }
+    }
+    let eq_span = p.expect(&Tok::Eq, "'=' after the output access")?;
+    if p.peek().is_none() {
+        return Err(FrontError::new(
+            ErrorKind::EmptyRhs,
+            Span::new(eq_span.start, src.len()),
+            "the right-hand side is empty",
+        ));
+    }
+
+    // Sum of products.
+    let mut terms: Vec<Vec<Access>> = Vec::new();
+    loop {
+        let mut factors = Vec::new();
+        loop {
+            let (tensor, indices, span) = p.access()?;
+            for (n, ix) in indices.iter().enumerate() {
+                if indices[..n].iter().any(|o| o.name == ix.name) {
+                    return Err(FrontError::new(
+                        ErrorKind::DuplicateIndex,
+                        ix.span,
+                        format!("index {:?} repeats within {tensor}", ix.name),
+                    ));
+                }
+            }
+            let spans: Vec<Span> = indices.iter().map(|i| i.span).collect();
+            let format = resolve_format(&tensor, &indices, &spans)?;
+            factors.push(Access {
+                tensor,
+                indices,
+                format,
+                span,
+            });
+            match p.peek() {
+                Some(Tok::Star) => {
+                    p.bump();
+                }
+                _ => break,
+            }
+        }
+        terms.push(factors);
+        match p.peek() {
+            Some(Tok::Plus) => {
+                p.bump();
+            }
+            None => break,
+            Some(_) => {
+                return Err(FrontError::new(
+                    ErrorKind::Parse,
+                    p.span_here(),
+                    "expected '+', '*', or end of expression",
+                ));
+            }
+        }
+    }
+
+    // Tensor reuse must keep rank and format (the output name may also
+    // appear on the rhs with a different shape only as an error).
+    let all: Vec<&Access> = terms.iter().flatten().collect();
+    for (n, a) in all.iter().enumerate() {
+        for b in &all[..n] {
+            if a.tensor == b.tensor {
+                if a.rank() != b.rank() {
+                    return Err(FrontError::new(
+                        ErrorKind::RankMismatch,
+                        a.span,
+                        format!(
+                            "{} used with rank {} here but rank {} earlier",
+                            a.tensor,
+                            a.rank(),
+                            b.rank()
+                        ),
+                    ));
+                }
+                if a.format != b.format {
+                    return Err(FrontError::new(
+                        ErrorKind::Parse,
+                        a.span,
+                        format!("{} used with two different formats", a.tensor),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Every output index must be bound by every term (no broadcasting).
+    for ix in &out_indices {
+        for term in &terms {
+            let bound = term.iter().any(|a| a.level_of(&ix.name).is_some());
+            if !bound {
+                return Err(FrontError::new(
+                    ErrorKind::UnboundIndex,
+                    ix.span,
+                    format!("output index {:?} is not bound by every term", ix.name),
+                ));
+            }
+        }
+    }
+
+    let output = Access {
+        format: FormatDescriptor::dense(&vec![0; out_indices.len()]),
+        tensor: out_tensor,
+        indices: out_indices,
+        span: out_span,
+    };
+    Ok(Expr {
+        output,
+        terms,
+        text: src.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_parses() {
+        let e = parse("y(i) = A(i,j:csr) * x(j)").expect("valid");
+        assert_eq!(e.output.tensor, "y");
+        assert_eq!(e.terms.len(), 1);
+        assert_eq!(e.terms[0].len(), 2);
+        assert_eq!(e.terms[0][0].index_names(), vec!["i", "j"]);
+        assert!(e.terms[0][0].level_is_sparse(1));
+        assert!(!e.terms[0][0].level_is_sparse(0));
+        assert!(!e.terms[0][1].level_is_sparse(0));
+        assert_eq!(e.reduction_indices(), vec!["j".to_owned()]);
+    }
+
+    #[test]
+    fn sum_of_products_parses() {
+        let e = parse("Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr) + C(i,j:dcsr)").expect("valid");
+        assert_eq!(e.terms.len(), 3);
+        assert!(e.terms.iter().all(|t| t.len() == 1));
+        assert!(e.reduction_indices().is_empty());
+    }
+
+    #[test]
+    fn defaults_follow_rank() {
+        let e = parse("y(i) = A(i,j) * x(j)").expect("valid");
+        assert!(e.terms[0][0].level_is_sparse(1), "rank-2 defaults to csr");
+        assert!(
+            !e.terms[0][1].level_is_sparse(0),
+            "rank-1 defaults to dense"
+        );
+        let t = parse("Z(i,j) = T(i,j,k) * x(k)").expect("valid");
+        assert!(t.terms[0][0].level_is_sparse(0), "rank-3 defaults to csf");
+    }
+
+    #[test]
+    fn errors_are_spanned() {
+        let cases: [(&str, ErrorKind); 8] = [
+            ("y(i) =", ErrorKind::EmptyRhs),
+            ("y(i) = A(i,j:blocked) * x(j)", ErrorKind::UnknownFormat),
+            ("y(i) = A(i:csr) * x(i)", ErrorKind::RankMismatch),
+            ("y(i,i) = A(i,j) * x(j)", ErrorKind::DuplicateIndex),
+            ("y(i,k) = A(i,j) * x(j)", ErrorKind::UnboundIndex),
+            ("y(i) = A(i,j * x(j)", ErrorKind::Parse),
+            ("y(i) 3 = x(i)", ErrorKind::Parse),
+            ("y(i:dense) = x(i)", ErrorKind::Unsupported),
+        ];
+        for (src, kind) in cases {
+            let err = parse(src).expect_err(src);
+            assert_eq!(err.kind, kind, "{src}: {err}");
+            assert!(err.span.end <= src.len(), "{src}: span {:?}", err.span);
+            assert!(err.span.start <= err.span.end, "{src}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Parser robustness: malformed input must come back as a spanned
+//! [`FrontError`] — never a panic — and the span must stay inside the
+//! source text so diagnostics can always be rendered.
+
+use proptest::prelude::*;
+use tmu_front::graph::IterationGraph;
+use tmu_front::parse::parse;
+use tmu_front::{ErrorKind, FrontError};
+
+/// Valid seeds the fuzzers mutate.
+const VALID: &[&str] = &[
+    "y(i) = A(i,j:csr) * x(j)",
+    "y(i) = A(i,j:csr) * x(j:sparse)",
+    "Z(i,j) = A(i,k:csr) * B(k,j:csr)",
+    "Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr) + C(i,j:dcsr)",
+    "Z(i,j) = T(i,j,k:csf) * c(k)",
+    "y(i) = A(i,j:csr) * T(j,k,l:csf) * x(l:dense)",
+    "z(i) = a(i:sparse) + b(i:sparse)",
+];
+
+/// Characters mutations draw from: grammar atoms plus noise. All ASCII,
+/// so byte positions are always char boundaries.
+const CHARSET: &[u8] = b"abcijkxyzABT0123456789(),:=*+ .;-_[]!#csrdenf";
+
+fn assert_well_formed(src: &str, err: &FrontError) {
+    assert!(
+        err.span.start <= err.span.end && err.span.end <= src.len(),
+        "span {:?} escapes source of length {} ({src:?})",
+        err.span,
+        src.len()
+    );
+    // Rendering the diagnostic must always succeed too.
+    let rendered = err.render(src);
+    assert!(!rendered.is_empty());
+}
+
+/// Drives the whole front half (parse + iteration graph); returns any
+/// spanned error for span checking. A panic anywhere fails the test.
+fn front_half(src: &str) -> Option<FrontError> {
+    match parse(src) {
+        Err(e) => Some(e),
+        Ok(expr) => IterationGraph::build(&expr).err(),
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_spanned_errors() {
+    let corpus: &[(&str, ErrorKind)] = &[
+        // Unbound output index: k never appears on the right.
+        ("y(i,k) = A(i,j:csr) * x(j)", ErrorKind::UnboundIndex),
+        ("z(q) = a(i:sparse) + b(i:sparse)", ErrorKind::UnboundIndex),
+        // Rank mismatch: annotation arity or reuse contradicts the access.
+        ("y(i) = A(i:csr) * x(i)", ErrorKind::RankMismatch),
+        ("y(i) = A(i,j,k:csr) * x(k)", ErrorKind::RankMismatch),
+        // Unknown storage format.
+        ("y(i) = A(i,j:blocked) * x(j)", ErrorKind::UnknownFormat),
+        ("y(i) = A(i,j:CSR) * x(j)", ErrorKind::UnknownFormat),
+        // Empty right-hand side.
+        ("y(i) =", ErrorKind::EmptyRhs),
+        ("y(i) =   ", ErrorKind::EmptyRhs),
+        // Duplicate output index.
+        ("y(i,i) = A(i,j:csr) * x(j)", ErrorKind::DuplicateIndex),
+        ("Z(i,j,i) = T(i,j,k:csf) * c(k)", ErrorKind::DuplicateIndex),
+        // Plain grammar breakage.
+        ("", ErrorKind::Parse),
+        ("y(i = x(i)", ErrorKind::Parse),
+        ("y(i) = A(i,j:csr * x(j)", ErrorKind::Parse),
+        ("= x(i)", ErrorKind::Parse),
+        ("y(i) == x(i)", ErrorKind::Parse),
+        ("y(i) = A(i,j:csr) & x(j)", ErrorKind::Parse),
+    ];
+    for &(src, kind) in corpus {
+        let err = parse(src).expect_err(src);
+        assert_eq!(err.kind, kind, "{src:?}");
+        assert_well_formed(src, &err);
+    }
+}
+
+#[test]
+fn valid_seeds_still_compile() {
+    for src in VALID {
+        let expr = parse(src).expect(src);
+        IterationGraph::build(&expr).expect(src);
+    }
+}
+
+fn mutate(base: &str, edits: &[(u8, usize, usize)]) -> String {
+    let mut s: Vec<u8> = base.as_bytes().to_vec();
+    for &(op, pos, ch) in edits {
+        let c = CHARSET[ch % CHARSET.len()];
+        match op % 4 {
+            0 if !s.is_empty() => {
+                let at = pos % s.len(); // replace
+                s[at] = c;
+            }
+            1 => s.insert(pos % (s.len() + 1), c), // insert
+            2 if !s.is_empty() => {
+                s.remove(pos % s.len()); // delete
+            }
+            3 => s.truncate(pos % (s.len() + 1)), // truncate
+            _ => {}
+        }
+    }
+    String::from_utf8(s).expect("charset is ASCII")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    #[test]
+    fn mutated_valid_expressions_never_panic(
+        base in 0usize..VALID.len(),
+        edits in proptest::collection::vec((0u8..4, 0usize..96, 0usize..CHARSET.len()), 1..6),
+    ) {
+        let src = mutate(VALID[base], &edits);
+        if let Some(err) = front_half(&src) {
+            assert_well_formed(&src, &err);
+        }
+    }
+
+    #[test]
+    fn random_character_soup_never_panics(
+        chars in proptest::collection::vec(0usize..CHARSET.len(), 0..48),
+    ) {
+        let src: String = chars.iter().map(|&i| CHARSET[i] as char).collect();
+        if let Some(err) = front_half(&src) {
+            assert_well_formed(&src, &err);
+        }
+    }
+}

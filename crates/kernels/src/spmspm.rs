@@ -112,6 +112,31 @@ impl Spmspm {
         &self.reference
     }
 
+    /// Functional TMU execution (8 shards, 8 lanes): output column indexes
+    /// and values in row-major, column-sorted order, exactly as the
+    /// callback handler computes them.
+    pub fn functional(&self) -> (Vec<u32>, Vec<f64>) {
+        let mut z = Vec::new();
+        let mut z_cols = Vec::new();
+        for &range in &self.shards(8) {
+            let prog = Arc::new(self.build_program(range, 8));
+            let mut handler = SpmspmHandler::new(
+                self.acc_r,
+                self.z_r,
+                Arc::clone(&self.z_offsets),
+                range.0,
+                self.a.cols,
+            );
+            let mut vm = VecMachine::new();
+            tmu::for_each_entry(&prog, &self.image, |e| {
+                handler.handle(e, OpId::NONE, &mut vm);
+            });
+            z.extend(handler.z);
+            z_cols.extend(handler.z_cols);
+        }
+        (z_cols, z)
+    }
+
     fn ctx(&self) -> Ctx {
         Ctx {
             a_ptrs: Arc::clone(&self.a.ptrs),
@@ -465,24 +490,7 @@ impl Workload for Spmspm {
     }
 
     fn verify(&self) -> Result<(), String> {
-        let mut z = Vec::new();
-        let mut z_cols = Vec::new();
-        for &range in &self.shards(8) {
-            let prog = Arc::new(self.build_program(range, 8));
-            let mut handler = SpmspmHandler::new(
-                self.acc_r,
-                self.z_r,
-                Arc::clone(&self.z_offsets),
-                range.0,
-                self.a.cols,
-            );
-            let mut vm = VecMachine::new();
-            tmu::for_each_entry(&prog, &self.image, |e| {
-                handler.handle(e, OpId::NONE, &mut vm);
-            });
-            z.extend(handler.z);
-            z_cols.extend(handler.z_cols);
-        }
+        let (z_cols, z) = self.functional();
         if z_cols != self.reference.col_idxs().to_vec() {
             return Err("SpMSpM: output structure mismatch".to_owned());
         }

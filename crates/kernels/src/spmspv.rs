@@ -114,6 +114,22 @@ impl Spmspv {
         &self.reference
     }
 
+    /// Functional TMU execution (8 shards): per-row results in row order,
+    /// exactly as the callback handler computes them.
+    pub fn functional(&self) -> Vec<f64> {
+        let mut got = Vec::new();
+        for &range in &partition_rows(&self.a.ptrs, 8) {
+            let prog = Arc::new(self.build_program(range));
+            let mut handler = SpmspvHandler::new(self.z_r, range.0);
+            let mut vm = VecMachine::new();
+            tmu::for_each_entry(&prog, &self.image, |e| {
+                handler.handle(e, OpId::NONE, &mut vm);
+            });
+            got.extend(handler.z);
+        }
+        got
+    }
+
     fn ctx(&self) -> Ctx {
         Ctx {
             ptrs: Arc::clone(&self.a.ptrs),
@@ -301,18 +317,8 @@ impl Workload for Spmspv {
     }
 
     fn verify(&self) -> Result<(), String> {
-        let mut got = Vec::new();
-        for &range in &partition_rows(&self.a.ptrs, 8) {
-            let prog = Arc::new(self.build_program(range));
-            let mut handler = SpmspvHandler::new(self.z_r, range.0);
-            let mut vm = VecMachine::new();
-            tmu::for_each_entry(&prog, &self.image, |e| {
-                handler.handle(e, OpId::NONE, &mut vm);
-            });
-            got.extend(handler.z);
-        }
         let _ = &self.b_vals;
-        check_close("SpMSpV", &got, &self.reference, 1e-9)
+        check_close("SpMSpV", &self.functional(), &self.reference, 1e-9)
     }
 }
 

@@ -108,6 +108,22 @@ impl Spmv {
         self.x_r
     }
 
+    /// Functional TMU execution (8 shards, 8 lanes): per-row results in
+    /// row order, exactly as the callback handler computes them.
+    pub fn functional(&self) -> Vec<f64> {
+        let mut got = Vec::new();
+        for &range in &self.shards(8) {
+            let prog = Arc::new(self.build_program(range, 8));
+            let mut handler = SpmvHandler::new(self.x_r, range.0);
+            let mut vm = VecMachine::new();
+            tmu::for_each_entry(&prog, &self.image, |e| {
+                handler.handle(e, OpId::NONE, &mut vm);
+            });
+            got.extend(handler.x);
+        }
+        got
+    }
+
     fn ctx(&self) -> Ctx {
         Ctx {
             ptrs: Arc::clone(&self.sim.ptrs),
@@ -432,18 +448,7 @@ impl Workload for Spmv {
     }
 
     fn verify(&self) -> Result<(), String> {
-        // Functional TMU execution over 8 shards, 8 lanes.
-        let mut got = vec![0.0; 0];
-        for &range in &self.shards(8) {
-            let prog = Arc::new(self.build_program(range, 8));
-            let mut handler = SpmvHandler::new(self.x_r, range.0);
-            let mut vm = VecMachine::new();
-            tmu::for_each_entry(&prog, &self.image, |e| {
-                handler.handle(e, OpId::NONE, &mut vm);
-            });
-            got.extend(handler.x);
-        }
-        check_close("SpMV", &got, &self.reference, 1e-9)
+        check_close("SpMV", &self.functional(), &self.reference, 1e-9)
     }
 }
 

@@ -98,6 +98,23 @@ impl Spttv {
         &self.reference
     }
 
+    /// Functional TMU execution (8 shards, 8 lanes): per-fiber sums in
+    /// CSF fiber order, exactly as the callback handler computes them.
+    pub fn functional(&self) -> Vec<f64> {
+        let mut got = Vec::new();
+        for &range in &self.shards(8) {
+            let prog = Arc::new(self.build_program(range, 8));
+            let first_fiber = self.t.ptrs[0][range.0] as usize;
+            let mut handler = SpttvHandler::new(self.z_r, first_fiber);
+            let mut vm = VecMachine::new();
+            tmu::for_each_entry(&prog, &self.image, |e| {
+                handler.handle(e, OpId::NONE, &mut vm);
+            });
+            got.extend(handler.z);
+        }
+        got
+    }
+
     fn ctx(&self) -> Ctx {
         Ctx {
             ptr0: Arc::clone(&self.t.ptrs[0]),
@@ -304,18 +321,7 @@ impl Workload for Spttv {
     }
 
     fn verify(&self) -> Result<(), String> {
-        let mut got = Vec::new();
-        for &range in &self.shards(8) {
-            let prog = Arc::new(self.build_program(range, 8));
-            let first_fiber = self.t.ptrs[0][range.0] as usize;
-            let mut handler = SpttvHandler::new(self.z_r, first_fiber);
-            let mut vm = VecMachine::new();
-            tmu::for_each_entry(&prog, &self.image, |e| {
-                handler.handle(e, OpId::NONE, &mut vm);
-            });
-            got.extend(handler.z);
-        }
-        check_close("SpTTV", &got, &self.reference, 1e-9)
+        check_close("SpTTV", &self.functional(), &self.reference, 1e-9)
     }
 }
 

@@ -88,6 +88,38 @@ impl FormatDescriptor {
         )
     }
 
+    /// Resolves a textual format annotation (as written in expression
+    /// front-end accesses, e.g. `A(i,j:csr)`) to its level stack for a
+    /// rank-`rank` access. The annotation names the whole-tensor format;
+    /// dense level sizes are unknown at annotation time and come back as
+    /// zero placeholders (callers query [`LevelFormat::is_data_dependent`],
+    /// not sizes). Returns `None` when the annotation exists but cannot
+    /// describe a tensor of this rank (a rank mismatch, distinct from an
+    /// unknown annotation — see [`KNOWN_ANNOTATIONS`]).
+    pub fn from_annotation(name: &str, rank: usize) -> Option<Self> {
+        match (name, rank) {
+            (_, 0) => None,
+            ("dense", r) => Some(Self::dense(&vec![0; r])),
+            ("sparse", 1) => Some(Self::new(vec![LevelFormat::Compressed])),
+            ("csr", 2) => Some(Self::csr(0)),
+            ("dcsr", 2) => Some(Self::dcsr()),
+            ("coo", r) => Some(Self::coo(r)),
+            ("csf", r) => Some(Self::csf(r)),
+            _ => None,
+        }
+    }
+
+    /// The format conventionally assumed when an access carries no
+    /// annotation: dense vectors, CSR matrices, CSF for higher orders.
+    pub fn default_for_rank(rank: usize) -> Option<Self> {
+        match rank {
+            0 => None,
+            1 => Some(Self::dense(&[0])),
+            2 => Some(Self::csr(0)),
+            r => Some(Self::csf(r)),
+        }
+    }
+
     /// Number of levels whose traversal has data-dependent control flow —
     /// the property that generates the branch mispredictions of §3.
     pub fn data_dependent_levels(&self) -> usize {
@@ -124,6 +156,12 @@ impl FormatDescriptor {
         words
     }
 }
+
+/// Annotation names [`FormatDescriptor::from_annotation`] understands.
+/// A name outside this list is an *unknown format*; a name inside it that
+/// still resolves to `None` is a *rank mismatch* — front-ends report the
+/// two differently.
+pub const KNOWN_ANNOTATIONS: [&str; 6] = ["dense", "sparse", "csr", "dcsr", "coo", "csf"];
 
 /// Measured storage statistics of a concrete matrix under each format,
 /// supporting the format-selection rules of §2.2 (`CSR` beats `COO` when
@@ -169,6 +207,43 @@ mod tests {
         assert_eq!(FormatDescriptor::csf(4).data_dependent_levels(), 4);
         assert_eq!(FormatDescriptor::csr(10).data_dependent_levels(), 1);
         assert_eq!(FormatDescriptor::dense(&[2, 3]).data_dependent_levels(), 0);
+    }
+
+    #[test]
+    fn annotations_resolve_per_rank() {
+        let csr = FormatDescriptor::from_annotation("csr", 2).expect("csr is rank 2");
+        assert_eq!(csr.data_dependent_levels(), 1);
+        assert!(!csr.levels()[0].is_data_dependent());
+        assert!(csr.levels()[1].is_data_dependent());
+        assert_eq!(
+            FormatDescriptor::from_annotation("csf", 3)
+                .expect("csf is any rank")
+                .data_dependent_levels(),
+            3
+        );
+        // Rank mismatches and unknown names both come back None; the
+        // KNOWN_ANNOTATIONS list lets callers tell them apart.
+        assert!(FormatDescriptor::from_annotation("csr", 1).is_none());
+        assert!(FormatDescriptor::from_annotation("sparse", 2).is_none());
+        assert!(FormatDescriptor::from_annotation("blocked", 2).is_none());
+        assert!(KNOWN_ANNOTATIONS.contains(&"csr"));
+        assert!(!KNOWN_ANNOTATIONS.contains(&"blocked"));
+        // Defaults: dense vectors, CSR matrices, CSF tensors.
+        assert_eq!(
+            FormatDescriptor::default_for_rank(1)
+                .expect("rank 1")
+                .data_dependent_levels(),
+            0
+        );
+        assert_eq!(
+            FormatDescriptor::default_for_rank(2).expect("rank 2"),
+            FormatDescriptor::csr(0)
+        );
+        assert_eq!(
+            FormatDescriptor::default_for_rank(4).expect("rank 4"),
+            FormatDescriptor::csf(4)
+        );
+        assert!(FormatDescriptor::default_for_rank(0).is_none());
     }
 
     #[test]

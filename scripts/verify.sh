@@ -14,9 +14,13 @@ echo "== tier-1: build + test =="
 cargo build --release
 cargo test -q
 
+echo "== expression front-end: unit + differential + robustness suites =="
+cargo test -q -p tmu-front
+
 echo "== trace feature: build + test (keeps the gated code from rotting) =="
 cargo build --release --features trace
 cargo test -q -p tmu-trace
+# Includes the traced-expression compose test (front-end × trace).
 cargo test -q -p tmu-bench --features trace
 
 echo "verify.sh: all gates passed"
