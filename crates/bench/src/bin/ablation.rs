@@ -113,4 +113,5 @@ fn main() {
         ));
     }
     report.save();
+    tmu_bench::runner::exit_if_failed();
 }

@@ -55,4 +55,5 @@ fn main() {
         Ok(()) => println!("→ wrote {}", path.display()),
         Err(e) => eprintln!("all_figures: could not write run log: {e}"),
     }
+    tmu_bench::runner::exit_if_failed();
 }

@@ -37,4 +37,5 @@ fn main() {
             );
         }
     }
+    tmu_bench::runner::exit_if_failed();
 }

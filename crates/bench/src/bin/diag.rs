@@ -77,4 +77,5 @@ fn main() {
         run.stats.bandwidth_gbs(),
         run.read_to_write_ratio()
     );
+    tmu_bench::runner::exit_if_failed();
 }

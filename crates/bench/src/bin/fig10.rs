@@ -3,4 +3,5 @@
 fn main() {
     let runner = tmu_bench::runner::Runner::new();
     tmu_bench::figs::fig10(&runner);
+    tmu_bench::runner::exit_if_failed();
 }

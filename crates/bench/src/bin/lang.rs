@@ -135,5 +135,6 @@ fn main() -> ExitCode {
         "  tmu           {tmu_cy:>12} cycles  ({:.2}x)",
         base_cy as f64 / tmu_cy.max(1) as f64
     );
+    tmu_bench::runner::exit_if_failed();
     ExitCode::SUCCESS
 }

@@ -4,5 +4,7 @@
 
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    tmu_bench::tracecli::main(&args)
+    let code = tmu_bench::tracecli::main(&args);
+    tmu_bench::runner::exit_if_failed();
+    code
 }

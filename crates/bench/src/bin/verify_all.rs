@@ -2,4 +2,5 @@
 
 fn main() {
     tmu_bench::figs::verify_all();
+    tmu_bench::runner::exit_if_failed();
 }

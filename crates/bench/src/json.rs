@@ -114,6 +114,20 @@ pub struct BenchRow {
     pub outq_backpressure_cycles: u64,
     /// Figure 13 read-to-write ratio (0 when not a TMU variant).
     pub outq_read_to_write: f64,
+    /// Panic message when the job failed instead of finishing. Emitted
+    /// only when present, so healthy rows are byte-identical to the
+    /// pre-fault-model schema.
+    pub error: Option<String>,
+    /// Why the engine retired and the job fell back to the software
+    /// baseline. Emitted only when present.
+    pub fallback: Option<String>,
+    /// Faults injected into the run's TMU engines. The three fault
+    /// counters are emitted only when at least one fault was injected.
+    pub fault_injected: u64,
+    /// Precise traps taken (context saved, simulated OS serviced).
+    pub fault_traps: u64,
+    /// Context restores after trap service.
+    pub fault_restores: u64,
 }
 
 fn push_str(out: &mut String, s: &str) {
@@ -214,6 +228,20 @@ impl BenchRow {
         u64_field!("outq_chunks", self.outq_chunks);
         u64_field!("outq_backpressure_cycles", self.outq_backpressure_cycles);
         f64_field!("outq_read_to_write", self.outq_read_to_write);
+        // Resilience telemetry is opt-in: the keys appear only on rows
+        // that failed, fell back, or ran with injected faults, keeping
+        // fault-free bench.json output byte-identical to older schemas.
+        if let Some(e) = &self.error {
+            str_field!("error", e);
+        }
+        if let Some(fb) = &self.fallback {
+            str_field!("fallback", fb);
+        }
+        if self.fault_injected > 0 {
+            u64_field!("fault_injected", self.fault_injected);
+            u64_field!("fault_traps", self.fault_traps);
+            u64_field!("fault_restores", self.fault_restores);
+        }
         // Drop the trailing comma.
         out.pop();
         out.push('}');

@@ -18,6 +18,7 @@
 //! worker count and completion order never leak into results.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -260,6 +261,8 @@ impl Job {
             registry: Some(stats.registry()),
             stats,
             outq: Vec::new(),
+            error: None,
+            fallback: None,
         };
         match self.engine {
             EngineVariant::BaselineSve => from_stats(w.run_baseline(self.sys)),
@@ -279,11 +282,45 @@ impl Job {
                     self.tmu
                 };
                 let run = w.run_tmu(self.sys, tmu);
+                let outq: Vec<OutQSnapshot> = run.outq.iter().map(|o| o.snapshot()).collect();
+                let injected: u64 = outq.iter().map(|o| o.faults_injected).sum();
+                let traps: u64 = outq.iter().map(|o| o.fault_traps).sum();
+                let restores: u64 = outq.iter().map(|o| o.fault_restores).sum();
+                let fault_counters = |registry: &mut tmu_trace::StatsRegistry| {
+                    if injected > 0 {
+                        registry.set_counter("system.tmu.faults.injected", injected);
+                        registry.set_counter("system.tmu.faults.traps", traps);
+                        registry.set_counter("system.tmu.faults.restores", restores);
+                    }
+                };
+                // Graceful degradation (§5.6): an engine that retired on an
+                // unserviceable fault produced no usable marshaled output, so
+                // the kernel falls back to the software baseline. The row
+                // keeps the TMU run's fault telemetry next to the baseline
+                // timing so the degradation is visible in bench.json.
+                if let Some(reason) = run.outq.iter().find_map(|o| o.retired.clone()) {
+                    let stats = w.run_baseline(self.sys);
+                    let mut registry = stats.registry();
+                    registry.set_counter("system.tmu.fallback", 1);
+                    fault_counters(&mut registry);
+                    return RunResult {
+                        kind,
+                        registry: Some(registry),
+                        stats,
+                        outq,
+                        error: None,
+                        fallback: Some(reason),
+                    };
+                }
+                let mut registry = run.stats.registry();
+                fault_counters(&mut registry);
                 RunResult {
                     kind,
-                    registry: Some(run.stats.registry()),
+                    registry: Some(registry),
                     stats: run.stats,
-                    outq: run.outq.iter().map(|o| o.snapshot()).collect(),
+                    outq,
+                    error: None,
+                    fallback: None,
                 }
             }
         }
@@ -304,9 +341,28 @@ pub struct RunResult {
     pub registry: Option<tmu_trace::StatsRegistry>,
     /// Per-core outQ snapshots (empty for non-TMU variants).
     pub outq: Vec<OutQSnapshot>,
+    /// Panic message when the job died instead of finishing; such results
+    /// carry default stats, are never memo-cached, and make the process
+    /// exit nonzero through [`exit_if_failed`].
+    pub error: Option<String>,
+    /// Why the TMU engine retired and the job fell back to the software
+    /// baseline (the stats are then baseline timings), if it did.
+    pub fallback: Option<String>,
 }
 
 impl RunResult {
+    /// A placeholder result for a job whose simulation panicked.
+    pub fn failed(msg: impl Into<String>) -> Self {
+        Self {
+            kind: KernelKind::MemoryIntensive,
+            stats: RunStats::default(),
+            registry: None,
+            outq: Vec::new(),
+            error: Some(msg.into()),
+            fallback: None,
+        }
+    }
+
     /// Mean read-to-write ratio across cores with outQ activity (the
     /// Figure 13 metric; 0 for non-TMU variants).
     pub fn read_to_write_ratio(&self) -> f64 {
@@ -362,6 +418,43 @@ pub fn bench_row(figure: &str, machine: &str, job: &Job, res: &RunResult) -> Ben
         outq_chunks,
         outq_backpressure_cycles,
         outq_read_to_write: res.read_to_write_ratio(),
+        error: res.error.clone(),
+        fallback: res.fallback.clone(),
+        fault_injected: res.outq.iter().map(|o| o.faults_injected).sum(),
+        fault_traps: res.outq.iter().map(|o| o.fault_traps).sum(),
+        fault_restores: res.outq.iter().map(|o| o.fault_restores).sum(),
+    }
+}
+
+/// Jobs whose simulation panicked in this process (caught by
+/// [`Runner::run_all`] and turned into [`RunResult::failed`] rows).
+static FAILED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of jobs that failed (panicked) so far in this process.
+pub fn failed_jobs() -> usize {
+    FAILED_JOBS.load(Ordering::Relaxed)
+}
+
+/// Exits the process with status 1 when any job failed, after printing a
+/// summary. Figure binaries call this last, so a crashed grid point still
+/// writes every healthy row but cannot masquerade as a clean run.
+pub fn exit_if_failed() {
+    let n = failed_jobs();
+    if n > 0 {
+        eprintln!("error: {n} job(s) failed; see the [FAIL] lines above");
+        std::process::exit(1);
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` panics the
+/// simulators raise) as a one-line message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked (non-string payload)".to_owned()
     }
 }
 
@@ -487,14 +580,43 @@ impl Runner {
                 job.engine.label()
             );
             self.simulations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(job.run())
+            // A panicking grid point must not take the whole batch (or the
+            // scoped worker pool) down with it: catch it, report it as a
+            // typed failure row, and let every other job finish.
+            match catch_unwind(AssertUnwindSafe(|| job.run())) {
+                Ok(result) => Arc::new(result),
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    FAILED_JOBS.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "  [FAIL] {} on {} ({}): {msg}",
+                        job.kernel,
+                        job.input.label(),
+                        job.engine.label()
+                    );
+                    Arc::new(RunResult::failed(msg))
+                }
+            }
         });
+        // Failures are never memoized — a later batch (or a rerun after a
+        // fix in job construction) must simulate again, not replay a stale
+        // crash — so they resolve through a batch-local map instead.
+        let mut batch: HashMap<&str, Arc<RunResult>> = HashMap::new();
         let mut cache = self.cache.lock().expect("runner cache poisoned");
         for ((key, _), result) in missing.iter().zip(fresh) {
-            cache.insert((*key).to_owned(), result);
+            if result.error.is_none() {
+                cache.insert((*key).to_owned(), Arc::clone(&result));
+            }
+            batch.insert(key, result);
         }
         keys.iter()
-            .map(|k| Arc::clone(cache.get(k).expect("every job key resolved")))
+            .map(|k| {
+                cache
+                    .get(k)
+                    .or_else(|| batch.get(k.as_str()))
+                    .map(Arc::clone)
+                    .expect("every job key resolved")
+            })
             .collect()
     }
 
@@ -706,6 +828,75 @@ mod tests {
             json.contains("\"name\":\"tu_fetch\",\"ph\":\"X\""),
             "{json}"
         );
+    }
+
+    #[test]
+    fn failed_jobs_report_typed_rows_and_skip_the_memo_cache() {
+        let input = InputSpec::Uniform {
+            rows: 64,
+            cols: 64,
+            nnz_per_row: 2,
+            seed: 3,
+        };
+        // "NoSuchKernel" panics inside Job::build — the batch must survive
+        // it, flag the failure, and still run the healthy job.
+        let bad = Job::new("NoSuchKernel", input, EngineVariant::Tmu);
+        let good = Job::new("SpMV", input, EngineVariant::BaselineSve);
+        let runner = Runner::with_workers(2);
+        let before = failed_jobs();
+        let res = runner.run_all(&[bad.clone(), good.clone(), bad.clone()]);
+        assert_eq!(failed_jobs(), before + 1, "one unique failing key");
+        let err = res[0].error.as_deref().expect("failure is typed");
+        assert!(err.contains("NoSuchKernel"), "{err}");
+        assert_eq!(res[0], res[2], "duplicate keys share the failure row");
+        assert!(res[1].error.is_none() && res[1].stats.cycles > 0);
+        // Failures are not memoized: a retry simulates again.
+        let sims = runner.simulations();
+        assert!(runner.run(&bad).error.is_some());
+        assert_eq!(runner.simulations(), sims + 1, "failure must not cache");
+        // The failure lands in bench.json as an error row; healthy rows
+        // carry none of the resilience keys.
+        let row = bench_row("zz_fail_fig", "table5", &bad, &res[0]);
+        assert_eq!(row.error.as_deref(), Some(err));
+        crate::json::record("zz_fail_fig", vec![row]);
+        let body = crate::json::render_bench_json();
+        crate::json::validate(&body).expect("error rows are well-formed");
+        assert!(body.contains("\"error\":"), "{body}");
+        let healthy = bench_row("zz_fail_fig", "table5", &good, &res[1]);
+        assert!(healthy.error.is_none() && healthy.fault_injected == 0);
+    }
+
+    #[test]
+    fn unserviceable_faults_fall_back_to_the_software_baseline() {
+        let input = InputSpec::Uniform {
+            rows: 256,
+            cols: 2048,
+            nnz_per_row: 4,
+            seed: 9,
+        };
+        // A zero service budget retires an engine on its first page fault;
+        // a 20% rate guarantees one lands early on every engine.
+        let faulty = tmu::FaultSpec {
+            max_serviced: 0,
+            ..tmu::FaultSpec::with_rate(7, 20_000)
+        };
+        let job = Job::new("SpMV", input, EngineVariant::Tmu)
+            .with_tmu(TmuConfig::paper().with_faults(faulty));
+        let runner = Runner::with_workers(1);
+        let res = runner.run(&job);
+        assert!(res.error.is_none(), "degradation is graceful, not fatal");
+        let why = res.fallback.as_deref().expect("engine retired");
+        assert!(why.contains("unserviceable"), "{why}");
+        let reg = res.registry.as_ref().expect("fallback keeps a registry");
+        assert_eq!(reg.counter("system.tmu.fallback"), Some(1));
+        assert!(reg.counter("system.tmu.faults.injected").unwrap_or(0) > 0);
+        // The reported timing is the software baseline's.
+        let base = runner.run(&Job::new(job.kernel, input, EngineVariant::BaselineSve));
+        assert_eq!(res.stats.cycles, base.stats.cycles);
+        // The row records both the fallback and the fault telemetry.
+        let row = bench_row("figX", "table5", &job, &res);
+        assert_eq!(row.fallback.as_deref(), Some(why));
+        assert!(row.fault_injected > 0);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! TMU hardware configuration and the queue-sizing model of §5.5.
 
 use serde::{Deserialize, Serialize};
+use tmu_sim::FaultSpec;
+
+use crate::error::TmuError;
 
 /// Configuration of one TMU instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -19,6 +22,9 @@ pub struct TmuConfig {
     pub chunk_entries: usize,
     /// Bytes per stream element (index or value word).
     pub elem_bytes: usize,
+    /// Fault-injection schedule for resilience runs. Inactive by default
+    /// (no faults, behaviour byte-identical to the fault-free model).
+    pub faults: FaultSpec,
 }
 
 impl TmuConfig {
@@ -32,7 +38,13 @@ impl TmuConfig {
             outstanding: 128,
             chunk_entries: 64,
             elem_bytes: 8,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Variant of `self` with the given fault-injection schedule.
+    pub fn with_faults(&self, faults: FaultSpec) -> Self {
+        Self { faults, ..*self }
     }
 
     /// A single-lane variant with the *same total storage* as `self`
@@ -82,14 +94,29 @@ impl TmuConfig {
     /// TUs instantiate. Returns per-layer queue depths **in elements per
     /// stream** (each at least 2 so the FSMs can double-buffer).
     pub fn size_queues(&self, weights: &[f64], streams_per_layer: &[usize]) -> Vec<usize> {
-        assert_eq!(
-            weights.len(),
-            streams_per_layer.len(),
-            "one weight per layer"
-        );
+        match self.try_size_queues(weights, streams_per_layer) {
+            Ok(depths) => depths,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`TmuConfig::size_queues`]: rejects mismatched
+    /// `weights`/`streams_per_layer` lengths with a typed error instead of
+    /// panicking.
+    pub fn try_size_queues(
+        &self,
+        weights: &[f64],
+        streams_per_layer: &[usize],
+    ) -> Result<Vec<usize>, TmuError> {
+        if weights.len() != streams_per_layer.len() {
+            return Err(TmuError::QueueSizingMismatch {
+                weights: weights.len(),
+                layers: streams_per_layer.len(),
+            });
+        }
         let budget = self.elems_per_lane() as f64;
         let total: f64 = weights.iter().sum();
-        weights
+        Ok(weights
             .iter()
             .zip(streams_per_layer)
             .map(|(&w, &streams)| {
@@ -100,7 +127,7 @@ impl TmuConfig {
                 };
                 ((layer_elems / streams.max(1) as f64) as usize).max(2)
             })
-            .collect()
+            .collect())
     }
 }
 

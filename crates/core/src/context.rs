@@ -17,6 +17,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::config::TmuConfig;
+use crate::error::TmuError;
 use crate::image::MemImage;
 use crate::interp::Interp;
 use crate::program::Program;
@@ -64,7 +65,21 @@ impl ContextSnapshot {
 
     /// Restores an interpreter positioned exactly after
     /// `steps_completed` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's step count exceeds the program length.
     pub fn restore(&self, image: Arc<MemImage>) -> Interp {
+        match self.try_restore(image) {
+            Ok(interp) => interp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`ContextSnapshot::restore`]: a corrupt
+    /// snapshot (step count past the end of the program) is reported as a
+    /// typed error instead of a panic.
+    pub fn try_restore(&self, image: Arc<MemImage>) -> Result<Interp, TmuError> {
         #[cfg(feature = "trace")]
         tmu_trace::with(|t| {
             let c = t.component("system.tmu.ctx");
@@ -77,11 +92,11 @@ impl ContextSnapshot {
         });
         let mut interp = Interp::new(Arc::new(self.program.clone()), image);
         for _ in 0..self.steps_completed {
-            interp
-                .next_step()
-                .expect("snapshot step count exceeds program length");
+            interp.next_step().ok_or(TmuError::SnapshotOutOfRange {
+                steps: self.steps_completed,
+            })?;
         }
-        interp
+        Ok(interp)
     }
 }
 

@@ -11,6 +11,8 @@ use std::sync::Arc;
 
 use tmu_sim::Region;
 
+use crate::error::TmuError;
+
 /// Typed backing storage of one bound region.
 #[derive(Debug, Clone)]
 enum Backing {
@@ -80,6 +82,20 @@ impl MemImage {
             .find(|b| addr >= b.base && addr < b.base + b.len_bytes)
     }
 
+    /// Locates the binding containing `addr` and the in-bounds element
+    /// index, or the typed decode error.
+    fn decode(&self, addr: u64) -> Result<(&Binding, usize), TmuError> {
+        let b = self.find(addr).ok_or(TmuError::UnboundAddress { addr })?;
+        let off = addr - b.base;
+        if !off.is_multiple_of(b.elem) {
+            return Err(TmuError::MisalignedAddress {
+                addr,
+                elem: b.elem as usize,
+            });
+        }
+        Ok((b, (off / b.elem) as usize))
+    }
+
     /// Reads an index word at `addr` (u32 arrays; f64 arrays are truncated
     /// to integers, which traversal programs never rely on).
     ///
@@ -87,16 +103,19 @@ impl MemImage {
     ///
     /// Panics if the address is unbound or misaligned.
     pub fn read_index(&self, addr: u64) -> i64 {
-        let b = self
-            .find(addr)
-            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"));
-        let off = addr - b.base;
-        assert_eq!(off % b.elem, 0, "misaligned index read at {addr:#x}");
-        let i = (off / b.elem) as usize;
-        match &b.data {
+        match self.try_read_index(addr) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`MemImage::read_index`].
+    pub fn try_read_index(&self, addr: u64) -> Result<i64, TmuError> {
+        let (b, i) = self.decode(addr)?;
+        Ok(match &b.data {
             Backing::U32(v) => v[i] as i64,
             Backing::F64(v) => v[i] as i64,
-        }
+        })
     }
 
     /// Reads a value word at `addr` as raw bits (u32 widened, f64 bits).
@@ -105,16 +124,19 @@ impl MemImage {
     ///
     /// Panics if the address is unbound or misaligned.
     pub fn read_bits(&self, addr: u64) -> u64 {
-        let b = self
-            .find(addr)
-            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"));
-        let off = addr - b.base;
-        assert_eq!(off % b.elem, 0, "misaligned value read at {addr:#x}");
-        let i = (off / b.elem) as usize;
-        match &b.data {
+        match self.try_read_bits(addr) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`MemImage::read_bits`].
+    pub fn try_read_bits(&self, addr: u64) -> Result<u64, TmuError> {
+        let (b, i) = self.decode(addr)?;
+        Ok(match &b.data {
             Backing::U32(v) => v[i] as u64,
             Backing::F64(v) => v[i].to_bits(),
-        }
+        })
     }
 
     /// Element width in bytes of the binding containing `addr`.
@@ -123,9 +145,18 @@ impl MemImage {
     ///
     /// Panics if the address is unbound.
     pub fn elem_bytes(&self, addr: u64) -> u64 {
-        self.find(addr)
-            .unwrap_or_else(|| panic!("unbound TMU read at {addr:#x}"))
-            .elem
+        match self.try_elem_bytes(addr) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`MemImage::elem_bytes`].
+    pub fn try_elem_bytes(&self, addr: u64) -> Result<u64, TmuError> {
+        Ok(self
+            .find(addr)
+            .ok_or(TmuError::UnboundAddress { addr })?
+            .elem)
     }
 }
 
@@ -152,6 +183,27 @@ mod tests {
     fn unbound_read_panics() {
         let image = MemImage::new();
         image.read_index(0x1234);
+    }
+
+    #[test]
+    fn try_reads_report_typed_errors() {
+        use crate::error::TmuError;
+        let mut map = AddressMap::new();
+        let r = map.alloc_elems("vals", 4, 8);
+        let mut image = MemImage::new();
+        image.bind_f64(r, Arc::new(vec![1.0; 4]));
+        assert_eq!(
+            image.try_read_bits(0x1234),
+            Err(TmuError::UnboundAddress { addr: 0x1234 })
+        );
+        assert_eq!(
+            image.try_read_index(r.base + 3),
+            Err(TmuError::MisalignedAddress {
+                addr: r.base + 3,
+                elem: 8
+            })
+        );
+        assert_eq!(image.try_elem_bytes(r.base), Ok(8));
     }
 
     #[test]

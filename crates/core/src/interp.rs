@@ -98,6 +98,13 @@ impl Interp {
         interp
     }
 
+    /// Elements (stream loads) issued so far — the next [`ElemId`] this
+    /// interpreter will hand out. The timing model uses it after a context
+    /// restore to rebase its ready-tracking ring.
+    pub fn elems_issued(&self) -> ElemId {
+        self.next_elem
+    }
+
     fn init_root(&mut self) {
         let defs: Vec<TraversalDef> = self.prog.layers[0]
             .tus

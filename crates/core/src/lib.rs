@@ -56,10 +56,12 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod area;
 mod config;
 pub mod context;
+mod error;
 mod image;
 mod interp;
 mod program;
@@ -67,6 +69,8 @@ mod steps;
 mod timing;
 
 pub use config::TmuConfig;
+pub use error::TmuError;
+// Fault-model glue re-exported so kernels and harnesses need only `tmu`.
 pub use image::MemImage;
 pub use interp::{for_each_entry, run_functional, Interp, StepBatcher};
 pub use program::{
@@ -75,3 +79,4 @@ pub use program::{
 };
 pub use steps::{ElemId, MemLoad, Operand, OutQEntry, Step, StepKind};
 pub use timing::{CallbackHandler, ChunkStat, OutQSnapshot, OutQStats, TmuAccelerator};
+pub use tmu_sim::{FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTrigger};

@@ -100,6 +100,21 @@ impl ExprWorkload {
         &self.oracle
     }
 
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of this expression's engine.
+    pub fn outq_base(&self) -> u64 {
+        self.outq_r.base
+    }
+
+    /// Output region (for standalone handlers).
+    pub fn z_region(&self) -> (Region, usize) {
+        (self.z_r, self.z_cap)
+    }
+
     /// Lowers the expression with `lanes` lockstep lanes.
     ///
     /// # Errors

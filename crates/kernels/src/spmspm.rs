@@ -112,6 +112,16 @@ impl Spmspm {
         &self.reference
     }
 
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of a core.
+    pub fn outq_base(&self, core: usize) -> u64 {
+        self.outq_r[core].base
+    }
+
     /// Functional TMU execution (8 shards, 8 lanes): output column indexes
     /// and values in row-major, column-sorted order, exactly as the
     /// callback handler computes them.

@@ -114,6 +114,16 @@ impl Spmspv {
         &self.reference
     }
 
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of a core.
+    pub fn outq_base(&self, core: usize) -> u64 {
+        self.outq_r[core].base
+    }
+
     /// Functional TMU execution (8 shards): per-row results in row order,
     /// exactly as the callback handler computes them.
     pub fn functional(&self) -> Vec<f64> {

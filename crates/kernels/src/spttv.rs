@@ -98,6 +98,21 @@ impl Spttv {
         &self.reference
     }
 
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of a core.
+    pub fn outq_base(&self, core: usize) -> u64 {
+        self.outq_r[core].base
+    }
+
+    /// Number of root (mode-0) fibers in the CSF tensor.
+    pub fn roots(&self) -> usize {
+        self.t.idxs[0].len()
+    }
+
     /// Functional TMU execution (8 shards, 8 lanes): per-fiber sums in
     /// CSF fiber order, exactly as the callback handler computes them.
     pub fn functional(&self) -> Vec<f64> {

@@ -26,6 +26,12 @@ pub trait Accelerator {
     /// Whether the engine has finished: traversal complete and every
     /// produced op handed over via [`Accelerator::drain_ops`].
     fn done(&self) -> bool;
+
+    /// One-line human-readable state summary for watchdog diagnostic
+    /// dumps. The default is empty (nothing worth reporting).
+    fn status_line(&self) -> String {
+        String::new()
+    }
 }
 
 /// A no-op accelerator (useful in tests of the system plumbing).

@@ -34,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod accel;
 mod addr;
@@ -42,6 +43,7 @@ mod cache;
 pub mod configs;
 mod core;
 mod dram;
+mod fault;
 pub mod imp;
 mod machine;
 mod memsys;
@@ -57,10 +59,13 @@ pub use bpred::BranchPredictor;
 pub use cache::{Cache, CacheConfig, MshrPool, Probe};
 pub use core::{Core, CoreConfig, CoreStats, OpSource, SliceSource};
 pub use dram::{Dram, DramConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTrigger};
 pub use machine::{CountingMachine, Machine, VecMachine};
 pub use memsys::{MemSys, MemSysConfig};
 pub use noc::Mesh;
 pub use op::{Deps, Op, OpId, OpKind, Site};
 pub use prefetch::{BestOffsetPrefetcher, StridePrefetcher};
 pub use stats::{CacheLevelStats, MemStats, Roofline, RooflinePoint, RunStats};
-pub use system::{ChannelMachine, SkipHint, System, SystemConfig, CYCLE_LIMIT};
+pub use system::{
+    ChannelMachine, SimError, SkipHint, System, SystemConfig, CYCLE_LIMIT, DEFAULT_WATCHDOG_CYCLES,
+};

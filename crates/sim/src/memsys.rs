@@ -92,6 +92,9 @@ pub struct MemSys {
     pub demand_loads: u64,
     /// outQ lines written by accelerators into L2s.
     pub accel_outq_lines: u64,
+    /// Traversal reads issued by accelerators (all cores) — part of the
+    /// watchdog's forward-progress signature.
+    pub accel_reads: u64,
 }
 
 impl MemSys {
@@ -118,6 +121,7 @@ impl MemSys {
             cfg,
             demand_loads: 0,
             accel_outq_lines: 0,
+            accel_reads: 0,
         }
     }
 
@@ -351,6 +355,7 @@ impl MemSys {
     /// own outstanding-request pool (§5.6). Fills allocate in the LLC so
     /// input reuse is captured there.
     pub fn accel_read(&mut self, core: usize, addr: u64, t: u64) -> u64 {
+        self.accel_reads += 1;
         let line = line_of(addr);
         let slice = self.slice_of(line);
         let noc = self.mesh.round_trip(core, slice);

@@ -173,12 +173,106 @@ impl OpSource for AccelSource {
 /// legitimate run in this repository.
 pub const CYCLE_LIMIT: u64 = 20_000_000_000;
 
+/// Default no-forward-progress window of the [`System`] watchdog: far
+/// beyond any legitimate stall (DRAM round trips are O(10²) cycles) but
+/// cheap to hit when something genuinely wedges.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 10_000_000;
+
+/// Typed failures of a simulation run. The panicking `run*` entry points
+/// forward these as panic messages; the `try_run*` variants return them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// More kernel shards than cores.
+    TooManyShards {
+        /// Shards supplied.
+        shards: usize,
+        /// Cores available.
+        cores: usize,
+    },
+    /// More accelerators than cores.
+    TooManyAccelerators {
+        /// Accelerators supplied.
+        accels: usize,
+        /// Cores available.
+        cores: usize,
+    },
+    /// The progress watchdog detected no forward progress (deadlock or
+    /// livelock, e.g. an outQ wedged against a stalled consumer).
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// No-progress window that elapsed.
+        window: u64,
+        /// Human-readable diagnostic dump of the wedged state.
+        dump: String,
+    },
+    /// The hard [`CYCLE_LIMIT`] backstop was reached.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TooManyShards { shards, cores } => {
+                write!(f, "more shards than cores ({shards} > {cores})")
+            }
+            SimError::TooManyAccelerators { accels, cores } => {
+                write!(f, "more accelerators than cores ({accels} > {cores})")
+            }
+            SimError::Watchdog {
+                cycle,
+                window,
+                dump,
+            } => write!(
+                f,
+                "watchdog: no forward progress for {window} cycles at cycle {cycle}\n{dump}"
+            ),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit exceeded ({limit} cycles)"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Forward-progress monitor: fires when an observed signature stays
+/// unchanged for a full window of simulated cycles.
+struct Watchdog {
+    window: u64,
+    sig: [u64; 4],
+    last_change: u64,
+}
+
+impl Watchdog {
+    fn new(window: u64) -> Self {
+        Self {
+            window,
+            sig: [u64::MAX; 4],
+            last_change: 0,
+        }
+    }
+
+    /// Returns `true` if `sig` has not changed for a full window ending
+    /// at `now`.
+    fn stuck(&mut self, now: u64, sig: [u64; 4]) -> bool {
+        if sig != self.sig {
+            self.sig = sig;
+            self.last_change = now;
+            return false;
+        }
+        now.saturating_sub(self.last_change) >= self.window
+    }
+}
+
 /// The simulated multicore system.
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
     mem: MemSys,
     cores: Vec<Core>,
+    watchdog_cycles: u64,
 }
 
 impl System {
@@ -189,6 +283,7 @@ impl System {
             mem: MemSys::new(cfg.mem),
             cores: (0..cfg.cores()).map(|i| Core::new(i, cfg.core)).collect(),
             cfg,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
         };
         #[cfg(feature = "trace")]
         {
@@ -212,6 +307,13 @@ impl System {
         &self.mem
     }
 
+    /// Overrides the watchdog's no-forward-progress window (in cycles).
+    /// Mostly for tests; the [`DEFAULT_WATCHDOG_CYCLES`] default is far
+    /// beyond any legitimate stall.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles.max(1);
+    }
+
     /// Runs one kernel shard per core; each shard generates its op stream
     /// on its own thread. Returns the run statistics.
     ///
@@ -223,13 +325,27 @@ impl System {
     where
         F: FnOnce(&mut ChannelMachine) + Send,
     {
-        assert!(
-            shards.len() <= self.cores.len(),
-            "more shards than cores ({} > {})",
-            shards.len(),
-            self.cores.len()
-        );
+        match self.try_run(shards) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`System::run`]: returns a typed [`SimError`]
+    /// on shard/core mismatch, watchdog abort, or cycle-limit overrun
+    /// instead of panicking.
+    pub fn try_run<F>(&mut self, shards: Vec<F>) -> Result<RunStats, SimError>
+    where
+        F: FnOnce(&mut ChannelMachine) + Send,
+    {
+        if shards.len() > self.cores.len() {
+            return Err(SimError::TooManyShards {
+                shards: shards.len(),
+                cores: self.cores.len(),
+            });
+        }
         let mut sources: Vec<ChannelSource> = Vec::new();
+        let mut result = Ok(());
         std::thread::scope(|scope| {
             for shard in shards {
                 let (tx, rx) = sync_channel::<Vec<Op>>(16);
@@ -239,9 +355,17 @@ impl System {
                     shard(&mut machine);
                 });
             }
-            self.clock_loop(&mut sources, &mut Vec::new());
+            result = self.clock_loop(&mut sources, &mut Vec::new());
+            if result.is_err() {
+                // Drop the receivers before the scope joins the shard
+                // threads: a wedged shard blocked in `send` wakes up with a
+                // disconnect error and drains into the void instead of
+                // deadlocking the join.
+                sources.clear();
+            }
         });
-        self.collect_stats()
+        result?;
+        Ok(self.collect_stats())
     }
 
     /// Runs with one accelerator per entry; core `i` consumes the callback
@@ -251,11 +375,29 @@ impl System {
     ///
     /// Panics if more accelerators than cores are supplied or the cycle
     /// limit is exceeded.
-    pub fn run_accelerated(&mut self, mut accels: Vec<Box<dyn Accelerator>>) -> RunStats {
-        assert!(
-            accels.len() <= self.cores.len(),
-            "more accelerators than cores"
-        );
+    pub fn run_accelerated(&mut self, accels: Vec<Box<dyn Accelerator>>) -> RunStats {
+        match self.try_run_accelerated(accels) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`System::run_accelerated`]: returns a typed
+    /// [`SimError`] instead of panicking. The watchdog monitors committed
+    /// ops, demand loads, engine traversal reads, and outQ lines; if none
+    /// move for the configured window the run aborts with a diagnostic
+    /// dump (see [`System::set_watchdog`]).
+    pub fn try_run_accelerated(
+        &mut self,
+        mut accels: Vec<Box<dyn Accelerator>>,
+    ) -> Result<RunStats, SimError> {
+        if accels.len() > self.cores.len() {
+            return Err(SimError::TooManyAccelerators {
+                accels: accels.len(),
+                cores: self.cores.len(),
+            });
+        }
+        let mut watchdog = Watchdog::new(self.watchdog_cycles);
         let mut sources: Vec<AccelSource> =
             (0..accels.len()).map(|_| AccelSource::default()).collect();
         let mut now: u64 = 0;
@@ -314,10 +456,22 @@ impl System {
             if all_done {
                 break;
             }
-            assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+            if now >= CYCLE_LIMIT {
+                return Err(SimError::CycleLimit { limit: CYCLE_LIMIT });
+            }
+            let sig = [
+                self.committed_sum(),
+                self.mem.demand_loads,
+                self.mem.accel_reads,
+                self.mem.accel_outq_lines,
+            ];
+            if watchdog.stuck(now, sig) {
+                let dump = self.dump_state(now, &accels);
+                return Err(self.watchdog_fire(now, dump));
+            }
         }
         self.finalize_cycles(now);
-        self.collect_stats()
+        Ok(self.collect_stats())
     }
 
     /// Like [`System::run`], but with an Indirect Memory Prefetcher (IMP)
@@ -328,11 +482,29 @@ impl System {
     where
         F: FnOnce(&mut ChannelMachine) + Send,
     {
-        assert!(shards.len() <= self.cores.len(), "more shards than cores");
+        match self.try_run_with_imp(shards) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`System::run_with_imp`]: returns a typed
+    /// [`SimError`] instead of panicking.
+    pub fn try_run_with_imp<F>(&mut self, shards: Vec<F>) -> Result<RunStats, SimError>
+    where
+        F: FnOnce(&mut ChannelMachine) + Send,
+    {
+        if shards.len() > self.cores.len() {
+            return Err(SimError::TooManyShards {
+                shards: shards.len(),
+                cores: self.cores.len(),
+            });
+        }
         const WINDOW: usize = 256;
         let mut sources: Vec<ChannelSource> = Vec::new();
         let mut windows: Vec<VecDeque<Op>> = Vec::new();
         let mut imps: Vec<crate::imp::Imp> = Vec::new();
+        let mut result = Ok(());
         std::thread::scope(|scope| {
             for shard in shards {
                 let (tx, rx) = sync_channel::<Vec<Op>>(16);
@@ -344,9 +516,10 @@ impl System {
                     shard(&mut machine);
                 });
             }
+            let mut watchdog = Watchdog::new(self.watchdog_cycles);
             let mut now: u64 = 0;
             let mut acks: Vec<u32> = Vec::new();
-            loop {
+            result = loop {
                 let mut all_done = true;
                 for (i, source) in sources.iter_mut().enumerate() {
                     // Stage ops into the lookahead window; IMP observes
@@ -371,16 +544,35 @@ impl System {
                 }
                 now += 1;
                 if all_done {
-                    break;
+                    break Ok(());
                 }
-                assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+                if now >= CYCLE_LIMIT {
+                    break Err(SimError::CycleLimit { limit: CYCLE_LIMIT });
+                }
+                let sig = [self.committed_sum(), self.mem.demand_loads, 0, 0];
+                if watchdog.stuck(now, sig) {
+                    let dump = self.dump_state(now, &[]);
+                    break Err(self.watchdog_fire(now, dump));
+                }
+            };
+            if result.is_ok() {
+                self.finalize_cycles(now);
+            } else {
+                // See `try_run`: disconnect wedged shard senders before the
+                // scope joins their threads.
+                sources.clear();
             }
-            self.finalize_cycles(now);
         });
-        self.collect_stats()
+        result?;
+        Ok(self.collect_stats())
     }
 
-    fn clock_loop(&mut self, sources: &mut [ChannelSource], acks: &mut Vec<u32>) {
+    fn clock_loop(
+        &mut self,
+        sources: &mut [ChannelSource],
+        acks: &mut Vec<u32>,
+    ) -> Result<(), SimError> {
+        let mut watchdog = Watchdog::new(self.watchdog_cycles);
         let mut now: u64 = 0;
         loop {
             let mut all_done = true;
@@ -395,7 +587,14 @@ impl System {
             if all_done {
                 break;
             }
-            assert!(now < CYCLE_LIMIT, "cycle limit exceeded");
+            if now >= CYCLE_LIMIT {
+                return Err(SimError::CycleLimit { limit: CYCLE_LIMIT });
+            }
+            let sig = [self.committed_sum(), self.mem.demand_loads, 0, 0];
+            if watchdog.stuck(now, sig) {
+                let dump = self.dump_state(now, &[]);
+                return Err(self.watchdog_fire(now, dump));
+            }
 
             // Idle-cycle skipping: if no core can dispatch or commit before
             // some future cycle, jump the clock there.
@@ -425,6 +624,61 @@ impl System {
             }
         }
         self.finalize_cycles(now);
+        Ok(())
+    }
+
+    fn committed_sum(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.committed).sum()
+    }
+
+    /// Renders the wedged-state diagnostic: per-core commit/idle state,
+    /// memory-system progress counters, and each attached engine's
+    /// [`Accelerator::status_line`].
+    fn dump_state(&self, now: u64, accels: &[Box<dyn Accelerator>]) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "-- watchdog dump @ cycle {now} --");
+        for (i, core) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "core{i}: committed={} idle={}",
+                core.stats.committed,
+                core.idle()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "mem: demand_loads={} accel_reads={} outq_lines={}",
+            self.mem.demand_loads, self.mem.accel_reads, self.mem.accel_outq_lines
+        );
+        for (i, accel) in accels.iter().enumerate() {
+            let line = accel.status_line();
+            if !line.is_empty() {
+                let _ = writeln!(s, "accel{i}: {line}");
+            }
+        }
+        s
+    }
+
+    /// Emits the watchdog trace event, prints the dump to stderr, and
+    /// builds the typed error.
+    fn watchdog_fire(&self, now: u64, dump: String) -> SimError {
+        #[cfg(feature = "trace")]
+        tmu_trace::with(|t| {
+            let c = t.component("system");
+            t.event(
+                c,
+                now,
+                tmu_trace::EventKind::WatchdogFired,
+                self.watchdog_cycles,
+            );
+        });
+        eprintln!("{dump}");
+        SimError::Watchdog {
+            cycle: now,
+            window: self.watchdog_cycles,
+            dump,
+        }
     }
 
     fn finalize_cycles(&mut self, now: u64) {
@@ -602,6 +856,55 @@ mod tests {
         ]);
         assert_eq!(stats.cores[0].cycles, stats.cores[1].cycles);
         assert_eq!(stats.cycles, stats.cores[0].cycles);
+    }
+
+    /// An accelerator that claims to be busy forever but never produces
+    /// anything — the deadlock/livelock shape the watchdog must catch.
+    #[derive(Debug)]
+    struct WedgedAccel;
+
+    impl Accelerator for WedgedAccel {
+        fn tick(&mut self, _now: u64, _core: usize, _mem: &mut MemSys) {}
+        fn drain_ops(&mut self, _out: &mut Vec<Op>) {}
+        fn ack_chunk(&mut self, _chunk: u32, _now: u64) {}
+        fn done(&self) -> bool {
+            false
+        }
+        fn status_line(&self) -> String {
+            "wedged: pretending to work, producing nothing".into()
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_on_wedged_accelerator_with_dump() {
+        let mut sys = System::new(config(1));
+        sys.set_watchdog(10_000);
+        match sys.try_run_accelerated(vec![Box::new(WedgedAccel)]) {
+            Err(SimError::Watchdog {
+                cycle,
+                window,
+                dump,
+            }) => {
+                assert_eq!(window, 10_000);
+                assert!((10_000..CYCLE_LIMIT).contains(&cycle));
+                assert!(dump.contains("wedged"), "dump must carry accel status");
+                assert!(dump.contains("core0"), "dump must carry core state");
+            }
+            other => panic!("expected watchdog abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_overflow_is_a_typed_error() {
+        let mut sys = System::new(config(1));
+        let shards: Vec<fn(&mut ChannelMachine)> = vec![|_| {}, |_| {}];
+        match sys.try_run(shards) {
+            Err(SimError::TooManyShards {
+                shards: 2,
+                cores: 1,
+            }) => {}
+            other => panic!("expected TooManyShards, got {other:?}"),
+        }
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub enum EventKind {
     /// TMU context restored (payload: outQ entries produced before the
     /// switch; the event cycle carries the replayed step count).
     CtxRestore,
+    /// The fault plan injected a fault into an engine (payload: the
+    /// fault-kind bitmask bit, `tmu_sim::FaultKind::bit`).
+    FaultInjected,
+    /// The engine quiesced and raised a precise trap (payload: completed
+    /// step count at the trap point).
+    TrapRaised,
+    /// The system watchdog detected no forward progress and aborted the
+    /// run (payload: the no-progress window in cycles).
+    WatchdogFired,
 
     // -- duration events (payload: `pack_dur_extra`) --
     /// A TU issued a new cacheline fetch; the duration is the memory
@@ -103,6 +112,9 @@ impl EventKind {
             EventKind::LayerTransition => "layer_transition",
             EventKind::CtxSave => "ctx_save",
             EventKind::CtxRestore => "ctx_restore",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::TrapRaised => "trap_raised",
+            EventKind::WatchdogFired => "watchdog_fired",
             EventKind::TuFetch => "tu_fetch",
             EventKind::TgStep => "tg_step",
             EventKind::ChunkWrite => "chunk_write",

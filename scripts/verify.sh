@@ -23,4 +23,14 @@ cargo test -q -p tmu-trace
 # Includes the traced-expression compose test (front-end × trace).
 cargo test -q -p tmu-bench --features trace
 
+echo "== fault model: differential resume suite + panic-free grid smoke =="
+# clippy above already denies unwrap_used in sim/core (the #![warn] in
+# each crate root is promoted by -D warnings); these run the resilience
+# guarantees end-to-end.
+cargo test -q --release --test fault_resilience
+# A nonzero injection rate through the public harness must exit 0: every
+# fault schedule is serviced (or degrades gracefully) and the deliberate
+# panic is caught and typed.
+TMU_FAULT_RATE=50 cargo run --release -q -p tmu-bench --bin faults
+
 echo "verify.sh: all gates passed"
