@@ -42,7 +42,11 @@ fn engine_cycles(w: &Spmv, prog: Arc<tmu::Program>, cfg: TmuConfig) -> u64 {
     now
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() {
     let mut report = Report::new(
         "ablation",
         "design-choice ablations (engine-side unless noted)",
@@ -113,5 +117,4 @@ fn main() {
         ));
     }
     report.save();
-    tmu_bench::runner::exit_if_failed();
 }

@@ -7,7 +7,11 @@
 
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() {
     let t0 = std::time::Instant::now();
     let runner = tmu_bench::runner::Runner::new();
     let mut log = String::new();
@@ -55,5 +59,4 @@ fn main() {
         Ok(()) => println!("→ wrote {}", path.display()),
         Err(e) => eprintln!("all_figures: could not write run log: {e}"),
     }
-    tmu_bench::runner::exit_if_failed();
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper artifact `area` (see DESIGN.md §4).
 
-fn main() {
-    tmu_bench::figs::area_report();
-    tmu_bench::runner::exit_if_failed();
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(tmu_bench::figs::area_report)
 }

@@ -10,7 +10,11 @@ use tmu_bench::{matrix_workload_at, tensor_workload_at};
 use tmu_sim::configs;
 use tmu_tensor::gen::InputId;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() {
     let cfg = configs::neoverse_n1_system();
     let tmu = TmuConfig::paper();
     for s in [0.25f64, 0.5, 1.0] {
@@ -37,5 +41,4 @@ fn main() {
             );
         }
     }
-    tmu_bench::runner::exit_if_failed();
 }

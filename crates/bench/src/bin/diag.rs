@@ -14,7 +14,11 @@ use tmu_sim::{configs, CoreConfig};
 use tmu_sim::{Accelerator, MemSys, MemSysConfig, OpKind, SystemConfig};
 use tmu_tensor::gen;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() {
     let a = gen::banded(8192, 512, 16, 13);
     let w = Spmv::new(&a);
     let prog = Arc::new(w.build_program((0, 8192), 8));
@@ -77,5 +81,4 @@ fn main() {
         run.stats.bandwidth_gbs(),
         run.read_to_write_ratio()
     );
-    tmu_bench::runner::exit_if_failed();
 }

@@ -13,14 +13,24 @@
 //! a figure.
 
 use tmu::{FaultSpec, TmuConfig};
-use tmu_bench::runner::{failed_jobs, EngineVariant, InputSpec, Job, Runner};
+use tmu_bench::runner::{
+    clear_failed_jobs, failed_jobs, parse_pos_int, EngineVariant, InputSpec, Job, Runner,
+};
 
 fn main() -> std::process::ExitCode {
-    let rate: u32 = std::env::var("TMU_FAULT_RATE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or(20);
+    tmu_bench::run_main(run)
+}
+
+fn run() -> std::process::ExitCode {
+    let raw = std::env::var("TMU_FAULT_RATE").ok();
+    let rate: u32 = match parse_pos_int("TMU_FAULT_RATE", raw.as_deref()) {
+        Ok(Some(n)) => u32::try_from(n).unwrap_or(u32::MAX),
+        Ok(None) => 20,
+        Err(msg) => {
+            eprintln!("warning: {msg}; using default rate 20");
+            20
+        }
+    };
     let input = InputSpec::Uniform {
         rows: 1024,
         cols: 4096,
@@ -68,6 +78,12 @@ fn main() -> std::process::ExitCode {
     match &bad.error {
         Some(e) => println!("  caught: {e}"),
         None => println!("  NOT caught — runner let a panic through"),
+    }
+    if caught {
+        // The failure above was deliberate; clear the counter so the
+        // shared `run_main` epilogue doesn't turn an expected failure
+        // into a nonzero exit.
+        clear_failed_jobs();
     }
     if ok && caught {
         println!("fault smoke OK ({} simulations)", runner.simulations());

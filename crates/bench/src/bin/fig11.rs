@@ -1,7 +1,8 @@
 //! Regenerates the paper artifact `fig11` (see DESIGN.md §4).
 
-fn main() {
-    let runner = tmu_bench::runner::Runner::new();
-    tmu_bench::figs::fig11(&runner);
-    tmu_bench::runner::exit_if_failed();
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(|| {
+        let runner = tmu_bench::runner::Runner::new();
+        tmu_bench::figs::fig11(&runner);
+    })
 }

@@ -40,6 +40,10 @@ fn input_spec(name: &str) -> Option<InputSpec> {
 }
 
 fn main() -> ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(src) = args.first() else {
         eprintln!("usage: lang \"<expression>\" [rmat|uniform|fixed_row]");
@@ -135,6 +139,5 @@ fn main() -> ExitCode {
         "  tmu           {tmu_cy:>12} cycles  ({:.2}x)",
         base_cy as f64 / tmu_cy.max(1) as f64
     );
-    tmu_bench::runner::exit_if_failed();
     ExitCode::SUCCESS
 }

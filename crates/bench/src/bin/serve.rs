@@ -1,0 +1,142 @@
+//! `serve` — the multi-tenant serving benchmark (DESIGN.md §10).
+//!
+//! Synthesizes an open-loop arrival trace of mixed jobs (Table 4 kernel
+//! shapes plus einsum expressions), serves it on a pool of simulated
+//! cores with preemptive TMU virtualization, and reports per-tenant
+//! throughput and latency percentiles. Rows land in `results/bench.json`
+//! (schema v2, `tenant` + latency fields).
+//!
+//! Environment knobs, each read once at startup:
+//! * `TMU_TENANTS` — tenants in the synthetic trace (default 2).
+//! * `TMU_SERVE_JOBS` — jobs in the trace (default 24).
+//! * `TMU_SLOTS` — serving slots, i.e. simulated cores (default 2).
+//! * `TMU_GAP` — mean inter-arrival gap in cycles (default 300; small
+//!   against the ~1k-cycle jobs so the pool actually contends).
+//! * `TMU_QUANTUM` — scheduling quantum in cycles (default 1000).
+//! * `TMU_SEED` — arrival-trace seed (default 0xC0FFEE).
+//! * `TMU_POLICY` — `round_robin`/`rr`, `weighted_fair`/`wf`, or
+//!   `both` (default) to run the same trace under each policy.
+//!
+//! The serving simulation is a single-threaded discrete-event loop, so
+//! the output is deterministic for a fixed seed regardless of
+//! `TMU_JOBS` (which only sizes the figure runner's worker pool).
+
+use tmu_bench::json::BenchRow;
+use tmu_bench::runner::parse_pos_int;
+use tmu_bench::Report;
+use tmu_serve::{serve, synthesize, Policy, ServeConfig, TraceConfig};
+
+fn knob(name: &str, default: u64) -> u64 {
+    let raw = std::env::var(name).ok();
+    match parse_pos_int(name, raw.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => default,
+        Err(msg) => {
+            eprintln!("warning: {msg}; using default {default}");
+            default
+        }
+    }
+}
+
+fn policies() -> Vec<Policy> {
+    match std::env::var("TMU_POLICY").ok().as_deref() {
+        None | Some("both") | Some("") => vec![Policy::RoundRobin, Policy::WeightedFair],
+        Some(s) => match Policy::parse(s) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("warning: TMU_POLICY={s:?} is not a policy; running both");
+                vec![Policy::RoundRobin, Policy::WeightedFair]
+            }
+        },
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(run)
+}
+
+fn run() -> std::process::ExitCode {
+    let trace_cfg = TraceConfig {
+        tenants: knob("TMU_TENANTS", 2) as u32,
+        jobs: knob("TMU_SERVE_JOBS", 24) as u32,
+        seed: knob("TMU_SEED", 0xC0FFEE),
+        mean_gap: knob("TMU_GAP", 300),
+        ..TraceConfig::default()
+    };
+    let slots = knob("TMU_SLOTS", 2) as usize;
+    let quantum = knob("TMU_QUANTUM", 1_000);
+
+    let mut report = Report::new("serve", "multi-tenant serving: throughput and latency");
+    report.line(format!(
+        "trace: {} jobs, {} tenants, seed {:#x}; pool: {} slot(s), quantum {} cycles",
+        trace_cfg.jobs, trace_cfg.tenants, trace_cfg.seed, slots, quantum
+    ));
+
+    for policy in policies() {
+        let cfg = ServeConfig {
+            slots,
+            quantum,
+            policy,
+            ..ServeConfig::default()
+        };
+        let trace = synthesize(&trace_cfg);
+        let out = match serve(cfg, trace) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("serve: {policy:?} run failed: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        report.line("");
+        report.line(format!(
+            "policy {}: makespan {} cycles, {} preemption(s), builds {} miss / {} hit",
+            policy.label(),
+            out.makespan,
+            out.preemptions,
+            out.build_misses,
+            out.build_hits
+        ));
+        report.line(format!(
+            "  {:<8} {:>5} {:>4} {:>12} {:>10} {:>10} {:>10}",
+            "tenant", "done", "rej", "thr/Mcyc", "p50", "p95", "p99"
+        ));
+        for t in tmu_serve::tenant_reports(&out.outcomes, &out.rejected, out.makespan) {
+            report.line(format!(
+                "  tenant{:<2} {:>5} {:>4} {:>12.3} {:>10} {:>10} {:>10}",
+                t.tenant,
+                t.completed,
+                t.rejected,
+                t.throughput_per_mcycle,
+                t.sojourn.p50,
+                t.sojourn.p95,
+                t.sojourn.p99
+            ));
+            let queue_cycles: u64 = out
+                .outcomes
+                .iter()
+                .filter(|o| o.tenant == t.tenant)
+                .map(|o| o.queue_cycles())
+                .sum();
+            report.push_row(BenchRow {
+                figure: "serve".into(),
+                kernel: "mix".into(),
+                input: format!(
+                    "j{}t{}s{:x}",
+                    trace_cfg.jobs, trace_cfg.tenants, trace_cfg.seed
+                ),
+                engine: format!("serve-{}", policy.label()),
+                machine: "table5".into(),
+                cycles: out.makespan,
+                tenant: Some(format!("tenant{}", t.tenant)),
+                queue_cycles,
+                service_cycles: t.service_cycles,
+                lat_p50: t.sojourn.p50,
+                lat_p95: t.sojourn.p95,
+                lat_p99: t.sojourn.p99,
+                ..BenchRow::default()
+            });
+        }
+    }
+    report.save();
+    std::process::ExitCode::SUCCESS
+}

@@ -1,6 +1,5 @@
 //! Regenerates the paper artifact `table06` (see DESIGN.md §4).
 
-fn main() {
-    tmu_bench::figs::table06();
-    tmu_bench::runner::exit_if_failed();
+fn main() -> std::process::ExitCode {
+    tmu_bench::run_main(tmu_bench::figs::table06)
 }

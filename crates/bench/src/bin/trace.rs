@@ -3,8 +3,8 @@
 //! argument grammar and output format.
 
 fn main() -> std::process::ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = tmu_bench::tracecli::main(&args);
-    tmu_bench::runner::exit_if_failed();
-    code
+    tmu_bench::run_main(|| {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        tmu_bench::tracecli::main(&args)
+    })
 }

@@ -14,17 +14,21 @@
 //! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
 //! `null`.
 //!
-//! Schema (`schema_version` 1):
+//! Schema (`schema_version` 2):
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "figures": {
 //!     "<figure>": [ { <BenchRow fields> }, ... ],
 //!     ...
 //!   }
 //! }
 //! ```
+//!
+//! Version 2 adds the serving-layer fields (`tenant`, `queue_cycles`,
+//! `service_cycles`, `lat_p50`/`lat_p95`/`lat_p99`), emitted only on rows
+//! carrying a tenant — kernel/figure rows are byte-identical to v1.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -128,6 +132,21 @@ pub struct BenchRow {
     pub fault_traps: u64,
     /// Context restores after trap service.
     pub fault_restores: u64,
+    /// Serving-layer tenant label (`"tenant0"`, …). When set, the row is
+    /// a per-tenant serving row and the five serving fields below are
+    /// emitted with it (schema v2); kernel rows omit all six keys and
+    /// stay byte-identical to schema v1.
+    pub tenant: Option<String>,
+    /// Total queueing delay across the tenant's completed jobs (cycles).
+    pub queue_cycles: u64,
+    /// Total slot occupancy across the tenant's completed jobs (cycles).
+    pub service_cycles: u64,
+    /// p50 of the tenant's sojourn latency (arrival → completion, cycles).
+    pub lat_p50: u64,
+    /// p95 of the tenant's sojourn latency (cycles).
+    pub lat_p95: u64,
+    /// p99 of the tenant's sojourn latency (cycles).
+    pub lat_p99: u64,
 }
 
 fn push_str(out: &mut String, s: &str) {
@@ -242,6 +261,16 @@ impl BenchRow {
             u64_field!("fault_traps", self.fault_traps);
             u64_field!("fault_restores", self.fault_restores);
         }
+        // Serving-layer telemetry (schema v2): only rows tagged with a
+        // tenant carry the queueing/latency fields.
+        if let Some(t) = &self.tenant {
+            str_field!("tenant", t);
+            u64_field!("queue_cycles", self.queue_cycles);
+            u64_field!("service_cycles", self.service_cycles);
+            u64_field!("lat_p50", self.lat_p50);
+            u64_field!("lat_p95", self.lat_p95);
+            u64_field!("lat_p99", self.lat_p99);
+        }
         // Drop the trailing comma.
         out.pop();
         out.push('}');
@@ -263,7 +292,7 @@ pub fn record(figure: &str, rows: Vec<BenchRow>) {
 
 fn render(figures: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
-    out.push_str("{\n\"schema_version\":1,\n\"figures\":{\n");
+    out.push_str("{\n\"schema_version\":2,\n\"figures\":{\n");
     let mut first_fig = true;
     for (figure, body) in figures {
         if !first_fig {
@@ -569,7 +598,7 @@ mod tests {
         );
         record("zz_test_fig_b", Vec::new());
         let s = render_bench_json();
-        assert!(s.contains("\"schema_version\":1"));
+        assert!(s.contains("\"schema_version\":2"));
         assert!(s.contains("\"zz_test_fig_a\":["));
         assert!(s.contains("\"zz_test_fig_b\":["));
         // Re-recording replaces, not appends.
@@ -609,6 +638,57 @@ mod tests {
         let again = std::fs::read_to_string(write_bench_json(&dir).unwrap()).unwrap();
         assert_eq!(text, again);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_v2_tenant_fields_pin_and_roundtrip() {
+        // A serving row carries the six v2 keys, in pinned order…
+        let served = BenchRow {
+            figure: "serve".into(),
+            kernel: "mix".into(),
+            engine: "tmu-serve".into(),
+            machine: "table5".into(),
+            tenant: Some("tenant0".into()),
+            queue_cycles: 1234,
+            service_cycles: 5678,
+            lat_p50: 10,
+            lat_p95: 95,
+            lat_p99: 99,
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        served.write(&mut s);
+        assert!(
+            s.ends_with(
+                "\"tenant\":\"tenant0\",\"queue_cycles\":1234,\"service_cycles\":5678,\
+                 \"lat_p50\":10,\"lat_p95\":95,\"lat_p99\":99}"
+            ),
+            "v2 serving fields pinned at the row tail: {s}"
+        );
+        validate(&format!("[{s}]")).expect("serving row must be well-formed JSON");
+
+        // …while a tenant-less row emits none of them, byte-identical to
+        // the v1 row layout.
+        let plain = BenchRow {
+            figure: "serve".into(),
+            kernel: "mix".into(),
+            engine: "tmu-serve".into(),
+            machine: "table5".into(),
+            ..BenchRow::default()
+        };
+        let mut p = String::new();
+        plain.write(&mut p);
+        for key in [
+            "tenant",
+            "queue_cycles",
+            "service_cycles",
+            "lat_p50",
+            "lat_p95",
+            "lat_p99",
+        ] {
+            assert!(!p.contains(key), "v1-shaped row must omit {key}: {p}");
+        }
+        validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
     }
 
     #[test]

@@ -42,6 +42,49 @@ use tmu_tensor::CsrMatrix;
 
 use crate::json::BenchRow;
 
+/// What a benchmark binary's body may return into [`run_main`]: either
+/// nothing (success unless a job failed) or an explicit
+/// [`std::process::ExitCode`] (tools that fail on bad arguments).
+pub trait MainOutcome {
+    /// The exit code the body chose on its own.
+    fn into_exit_code(self) -> std::process::ExitCode;
+}
+
+impl MainOutcome for () {
+    fn into_exit_code(self) -> std::process::ExitCode {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+impl MainOutcome for std::process::ExitCode {
+    fn into_exit_code(self) -> std::process::ExitCode {
+        self
+    }
+}
+
+/// Shared epilogue of every benchmark binary: runs `body`, then checks
+/// the runner's failed-job counter. A body that returned success still
+/// exits nonzero when any simulation panicked — a crashed grid point
+/// writes every healthy row but cannot masquerade as a clean run.
+///
+/// ```no_run
+/// fn main() -> std::process::ExitCode {
+///     tmu_bench::run_main(|| {
+///         let runner = tmu_bench::runner::Runner::new();
+///         tmu_bench::figs::fig03(&runner);
+///     })
+/// }
+/// ```
+pub fn run_main<R: MainOutcome>(body: impl FnOnce() -> R) -> std::process::ExitCode {
+    let code = body().into_exit_code();
+    let n = runner::failed_jobs();
+    if n > 0 {
+        eprintln!("error: {n} job(s) failed; see the [FAIL] lines above");
+        return std::process::ExitCode::FAILURE;
+    }
+    code
+}
+
 /// Input scale multiplier from `TMU_SCALE`, read once per process
 /// (default 1.0). Reading the environment once makes the value immune to
 /// `set_var` races under the parallel test runner and the parallel

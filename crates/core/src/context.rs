@@ -33,6 +33,11 @@ pub struct ContextSnapshot {
     pub steps_completed: u64,
     /// outQ entries produced before the switch (current writing offset).
     pub entries_produced: u64,
+    /// outQ chunks sealed before the switch (the resumed engine's next
+    /// chunk id — an outQ control register in hardware).
+    pub chunks_sealed: u32,
+    /// Owning tenant of the quiesced context (outQ chunk tag).
+    pub tenant: u32,
 }
 
 impl ContextSnapshot {
@@ -60,7 +65,20 @@ impl ContextSnapshot {
             program: program.clone(),
             steps_completed,
             entries_produced,
+            chunks_sealed: 0,
+            tenant: 0,
         }
+    }
+
+    /// Stamps the outQ control registers (sealed-chunk count and tenant
+    /// tag) onto the snapshot. The intra-engine fault path never reads
+    /// them — the trapped engine keeps its own chunk state — but an
+    /// external scheduler descheduling the context must preserve them so
+    /// the resumed engine continues the chunk id sequence.
+    pub fn with_outq(mut self, chunks_sealed: u32, tenant: u32) -> Self {
+        self.chunks_sealed = chunks_sealed;
+        self.tenant = tenant;
+        self
     }
 
     /// Restores an interpreter positioned exactly after

@@ -72,6 +72,10 @@ pub struct OutQStats {
     /// Why the engine retired early, if it did (graceful degradation —
     /// the kernel should fall back to the software baseline).
     pub retired: Option<String>,
+    /// Owning tenant of this outQ (0 for single-tenant runs). Stamped by
+    /// [`TmuAccelerator::set_tenant`] so a scheduler multiplexing engines
+    /// can attribute marshaled chunks to the job that produced them.
+    pub tenant: u32,
 }
 
 /// Compact, chunk-free summary of an [`OutQStats`] — the form serialized
@@ -94,6 +98,8 @@ pub struct OutQSnapshot {
     pub fault_restores: u64,
     /// Whether the engine retired early on an unserviceable fault.
     pub retired: bool,
+    /// Owning tenant of this outQ (0 for single-tenant runs).
+    pub tenant: u32,
 }
 
 impl OutQStats {
@@ -108,6 +114,7 @@ impl OutQStats {
             fault_traps: self.faults.traps,
             fault_restores: self.faults.restores,
             retired: self.retired.is_some(),
+            tenant: self.tenant,
         }
     }
 
@@ -221,6 +228,12 @@ pub struct TmuAccelerator<H: CallbackHandler> {
     outq_stall_until: u64,
     /// Terminal error after graceful degradation (engine is dead).
     retired: Option<TmuError>,
+    /// Externally descheduled by [`TmuAccelerator::quiesce`]: the
+    /// architectural context left in a [`ContextSnapshot`]; the engine
+    /// shell only drains its already-synthesized host ops.
+    parked: bool,
+    /// Owning tenant (outQ chunk tag; 0 for single-tenant runs).
+    tenant: u32,
     qdepth: Vec<usize>,
     tus: Vec<Vec<TuTiming>>,
     ready: ReadyRing,
@@ -324,6 +337,8 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
             service_until: 0,
             outq_stall_until: 0,
             retired: None,
+            parked: false,
+            tenant: 0,
             qdepth,
             tus,
             ready: ReadyRing::default(),
@@ -411,6 +426,189 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
         self.retired.as_ref()
     }
 
+    /// Tags this engine's outQ with an owning tenant id. The tag rides in
+    /// every [`ContextSnapshot`] taken from the engine and in the shared
+    /// [`OutQStats`], so a scheduler multiplexing many jobs can attribute
+    /// marshaled chunks to the job that produced them.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+        self.stats.lock().expect("stats poisoned").tenant = tenant;
+    }
+
+    /// The owning tenant id (0 unless [`TmuAccelerator::set_tenant`] ran).
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Traversal-group steps committed so far (the precise quiesce
+    /// point). Schedulers preempting the engine compare this across
+    /// quanta to guarantee forward progress: a context switched out
+    /// before its first committed step would replay to the same point
+    /// forever.
+    pub fn steps_committed(&self) -> u64 {
+        self.steps_committed
+    }
+
+    /// Whether the engine was externally descheduled by
+    /// [`TmuAccelerator::quiesce`].
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Consumes the engine shell, returning the callback handler — the
+    /// host-software half of the job, which an external scheduler moves
+    /// onto the next engine incarnation at [`TmuAccelerator::resume_from`].
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+
+    /// Externally deschedules the engine (§5.6, scheduler-driven): drains
+    /// to the precise TG-step quiesce point and captures the architectural
+    /// context.
+    ///
+    /// The committed step count *is* the quiesce point — steps commit
+    /// strictly in order, and everything past it (in-flight loads, queued
+    /// steps, arbiter state) is speculative and regenerated bit-exactly by
+    /// replay on resume. The open partial outQ chunk is sealed so all
+    /// host-visible state drains with the outgoing context; sealing only
+    /// changes chunk packaging, never the marshaled entry stream. If a
+    /// fault was mid-service the pending restore is subsumed: the saved
+    /// context is identical to the one captured here.
+    ///
+    /// After this call the engine is parked: ticks are no-ops and
+    /// [`Accelerator::done`] reports true once the already-synthesized
+    /// host ops (the sealed chunk's callbacks and `ChunkEnd`) have
+    /// drained. Errors if the engine already retired.
+    pub fn quiesce(
+        &mut self,
+        now: u64,
+        core: usize,
+        mem: &mut MemSys,
+    ) -> Result<ContextSnapshot, TmuError> {
+        if let Some(err) = self.retired.as_ref() {
+            return Err(err.clone());
+        }
+        if self.chunk_entries > 0 {
+            self.seal_chunk(now, core, mem);
+        }
+        let entries = self.stats.lock().expect("stats poisoned").entries;
+        let snap = ContextSnapshot::save(self.cfg, &self.program, self.steps_committed, entries)
+            .with_outq(self.chunk_id, self.tenant);
+        self.saved = None;
+        self.trap_pending = None;
+        self.pending.clear();
+        self.parked = true;
+        Ok(snap)
+    }
+
+    /// Reconstructs an engine from an externally saved context (§5.6,
+    /// scheduler-driven reschedule): the dual of
+    /// [`TmuAccelerator::quiesce`].
+    ///
+    /// Replays the interpreter to the saved step count, rebuilding the
+    /// per-TU committed-consumption ordinals the §5.5 capacity check is
+    /// keyed on; loads of already-committed steps read as ready. The outQ
+    /// control registers resume from the snapshot: the next chunk id
+    /// continues the sealed sequence (the consumer drained every sealed
+    /// chunk before the switch completed, so the double-buffer gate opens
+    /// fully). Pass the descheduled engine's [`stats_handle`] as `stats`
+    /// so entry counts and per-chunk timings accumulate across
+    /// incarnations — chunk ids then stay aligned with the shared
+    /// `chunks` vector.
+    ///
+    /// A rate-based fault plan restarts its load counter (the plan is
+    /// microarchitectural, not architectural state); scripted plans do not
+    /// survive a switch.
+    ///
+    /// [`stats_handle`]: TmuAccelerator::stats_handle
+    pub fn resume_from(
+        snap: &ContextSnapshot,
+        image: Arc<MemImage>,
+        handler: H,
+        outq_base: u64,
+        stats: Arc<Mutex<OutQStats>>,
+    ) -> Result<Self, TmuError> {
+        let cfg = snap.config;
+        let program = Arc::new(snap.program.clone());
+        if program.lanes_used() > cfg.lanes {
+            return Err(TmuError::LanesExceeded {
+                used: program.lanes_used(),
+                lanes: cfg.lanes,
+            });
+        }
+        let qdepth = cfg.try_size_queues(&program.weights(), &program.streams_per_layer())?;
+        let mut tus: Vec<Vec<TuTiming>> = program
+            .layers
+            .iter()
+            .map(|l| (0..l.tus.len()).map(|_| TuTiming::default()).collect())
+            .collect();
+        let layers = program.layers.len();
+        let mut interp = Interp::new(Arc::clone(&program), Arc::clone(&image));
+        for _ in 0..snap.steps_completed {
+            let step = interp.next_step().ok_or(TmuError::SnapshotOutOfRange {
+                steps: snap.steps_completed,
+            })?;
+            for &(layer, lane) in &step.consumed {
+                tus[layer as usize][lane as usize].consumed_elems += 1;
+            }
+        }
+        #[cfg(feature = "trace")]
+        tmu_trace::with(|t| {
+            let c = t.component("system.tmu.ctx");
+            t.event(
+                c,
+                snap.steps_completed,
+                tmu_trace::EventKind::CtxRestore,
+                snap.entries_produced,
+            );
+        });
+        let base = interp.elems_issued();
+        stats.lock().expect("stats poisoned").tenant = snap.tenant;
+        Ok(Self {
+            cfg,
+            batcher: StepBatcher::new(interp),
+            handler,
+            program,
+            image,
+            faults: FaultPlan::from_spec(cfg.faults, outq_base),
+            steps_committed: snap.steps_completed,
+            trap_pending: None,
+            saved: None,
+            service_until: 0,
+            outq_stall_until: 0,
+            retired: None,
+            parked: false,
+            tenant: snap.tenant,
+            qdepth,
+            tus,
+            ready: ReadyRing::starting_at(base),
+            global_lines: [(u64::MAX, 0); 32],
+            global_pos: 0,
+            pending: VecDeque::new(),
+            steps_done: false,
+            rr: vec![0; layers],
+            outq_base,
+            chunk_id: snap.chunks_sealed,
+            chunk_entries: 0,
+            chunk_bytes: 0,
+            chunk_open: 0,
+            acked: snap.chunks_sealed,
+            vm: VecMachine::new(),
+            host_ops: VecDeque::new(),
+            stats,
+            outq_site: Site(u16::MAX),
+            debug_counters: [0; 4],
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            trace_layer: u8::MAX,
+            #[cfg(feature = "trace")]
+            sampler: tmu_trace::PeriodicSampler::new(
+                tmu_trace::with(|t| t.config().sample_period).unwrap_or(256),
+            ),
+        })
+    }
+
     /// Retires the engine: abandon all outstanding work, record the typed
     /// error, and report done so the host run terminates cleanly. The
     /// caller is expected to fall back to the software baseline.
@@ -455,12 +653,10 @@ impl<H: CallbackHandler> TmuAccelerator<H> {
         }
         plan.stats.traps += 1;
         let entries = self.stats.lock().expect("stats poisoned").entries;
-        self.saved = Some(ContextSnapshot::save(
-            self.cfg,
-            &self.program,
-            self.steps_committed,
-            entries,
-        ));
+        self.saved = Some(
+            ContextSnapshot::save(self.cfg, &self.program, self.steps_committed, entries)
+                .with_outq(self.chunk_id, self.tenant),
+        );
         self.service_until = now + u64::from(spec.service_cycles).max(1);
         #[cfg(feature = "trace")]
         self.emit(now, tmu_trace::EventKind::TrapRaised, self.steps_committed);
@@ -831,7 +1027,7 @@ impl<H: CallbackHandler> Accelerator for TmuAccelerator<H> {
                 );
             }
         }
-        if self.retired.is_some() {
+        if self.retired.is_some() || self.parked {
             return;
         }
         if self.saved.is_some() {
@@ -895,9 +1091,11 @@ impl<H: CallbackHandler> Accelerator for TmuAccelerator<H> {
     }
 
     fn done(&self) -> bool {
-        if self.retired.is_some() {
+        if self.retired.is_some() || self.parked {
             // Retired engines are done once their already-synthesized ops
-            // have drained; the caller falls back to software.
+            // have drained (the caller falls back to software); parked
+            // engines likewise — their remaining state lives in the
+            // snapshot an external scheduler took.
             return self.host_ops.is_empty();
         }
         self.saved.is_none()
@@ -1198,6 +1396,78 @@ mod tests {
                     assert_eq!(st.traps, st.restores);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn external_quiesce_resume_is_bit_identical() {
+        let (mut clean, reference) = spmv_accel(2);
+        let (clean_x, clean_cycles) = drive_to_done(&mut clean);
+        assert_eq!(clean_x.len(), reference.len());
+        for quantum in [1u64, 113, 1009, 20_000] {
+            let (first, _) = spmv_accel(2);
+            let image = Arc::clone(&first.image);
+            let base = first.outq_base;
+            let stats = first.stats_handle();
+            let mut accel = first;
+            let mut mem = MemSys::new(MemSysConfig::table5(1));
+            let mut now = 0u64;
+            let mut sink = Vec::new();
+            let mut switches = 0u64;
+            loop {
+                // One scheduling quantum, extended until the engine has
+                // committed at least one step since resume (the progress
+                // guarantee a preemptive scheduler must provide — a
+                // context switched out before its first commit replays
+                // to the same point forever).
+                let resumed_at = accel.steps_committed;
+                let until = now + quantum;
+                while !accel.done() && (now < until || accel.steps_committed == resumed_at) {
+                    accel.tick(now, 0, &mut mem);
+                    accel.drain_ops(&mut sink);
+                    for op in &sink {
+                        if let OpKind::ChunkEnd { chunk } = op.kind {
+                            accel.ack_chunk(chunk, now);
+                        }
+                    }
+                    sink.clear();
+                    now += 1;
+                    assert!(now < 20_000_000, "quantum {quantum}: must terminate");
+                }
+                if accel.done() {
+                    break;
+                }
+                let snap = accel.quiesce(now, 0, &mut mem).expect("engine is live");
+                // Drain the sealed partial chunk's host ops, then move the
+                // handler (host-software state) to the next incarnation.
+                accel.drain_ops(&mut sink);
+                for op in &sink {
+                    if let OpKind::ChunkEnd { chunk } = op.kind {
+                        accel.ack_chunk(chunk, now);
+                    }
+                }
+                sink.clear();
+                assert!(accel.done(), "parked engine drains to done");
+                let handler = accel.into_handler();
+                accel = TmuAccelerator::resume_from(
+                    &snap,
+                    Arc::clone(&image),
+                    handler,
+                    base,
+                    Arc::clone(&stats),
+                )
+                .expect("snapshot restores");
+                switches += 1;
+            }
+            assert_eq!(
+                accel.handler.x, clean_x,
+                "quantum {quantum}: preemption perturbed results"
+            );
+            if quantum < clean_cycles / 2 {
+                assert!(switches > 0, "quantum {quantum} never switched");
+            }
+            let st = stats.lock().expect("stats poisoned");
+            assert_eq!(st.entries, clean.stats().entries);
         }
     }
 

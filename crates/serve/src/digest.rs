@@ -1,0 +1,154 @@
+//! Order-sensitive digest of a job's marshaled outQ entry stream.
+//!
+//! The serving layer's correctness anchor is bit-identity: under any
+//! preemption schedule, a tenant's entry stream must equal its solo
+//! fault-free run. Recording every entry of every job would dominate
+//! memory at serving scale, so jobs carry a [`DigestHandler`] instead — a
+//! running FNV-1a hash over the exact bytes an entry marshals (callback
+//! id, lane mask, operand words and types, in order) plus an entry count.
+//! Two equal digests over equal counts pin equal streams for all
+//! practical purposes; the differential tests compare them.
+
+use tmu::{CallbackHandler, Operand, OutQEntry, StreamTy};
+use tmu_sim::{Deps, Machine, OpId, VecMachine};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The final digest of one job's entry stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EntryDigest {
+    /// FNV-1a over the marshaled entry bytes, in marshal order.
+    pub hash: u64,
+    /// Entries absorbed.
+    pub count: u64,
+}
+
+/// A [`CallbackHandler`] that digests the entry stream and emits one
+/// vector op per entry, so the serving slot's core still executes
+/// callback work with realistic dependencies.
+#[derive(Debug, Clone)]
+pub struct DigestHandler {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for DigestHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestHandler {
+    /// A fresh digest (FNV offset basis, zero entries).
+    pub fn new() -> Self {
+        Self {
+            hash: FNV_OFFSET,
+            count: 0,
+        }
+    }
+
+    /// The digest accumulated so far.
+    pub fn digest(&self) -> EntryDigest {
+        EntryDigest {
+            hash: self.hash,
+            count: self.count,
+        }
+    }
+
+    #[inline]
+    fn byte(&mut self, b: u8) {
+        self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn absorb(&mut self, entry: &OutQEntry) {
+        self.word(u64::from(entry.callback));
+        self.word(entry.mask);
+        for op in &entry.operands {
+            match op {
+                Operand::Vec { vals, ty } => {
+                    self.byte(0);
+                    self.byte(ty_tag(*ty));
+                    for &v in vals {
+                        self.word(v);
+                    }
+                }
+                Operand::Mask(m) => {
+                    self.byte(1);
+                    self.word(*m);
+                }
+                Operand::Scalar { val, ty } => {
+                    self.byte(2);
+                    self.byte(ty_tag(*ty));
+                    self.word(*val);
+                }
+            }
+        }
+        self.count += 1;
+    }
+}
+
+fn ty_tag(ty: StreamTy) -> u8 {
+    match ty {
+        StreamTy::Index => 0,
+        StreamTy::Value => 1,
+    }
+}
+
+impl CallbackHandler for DigestHandler {
+    fn handle(&mut self, entry: &OutQEntry, entry_load: OpId, m: &mut VecMachine) {
+        self.absorb(entry);
+        // One vector op per entry, dependent on the outQ read: the host
+        // core pays a callback cost proportional to the active lanes.
+        let lanes = entry.mask.count_ones().max(1);
+        m.vec_op(lanes, Deps::from(entry_load));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(callback: u32, mask: u64, vals: &[u64]) -> OutQEntry {
+        OutQEntry {
+            callback,
+            mask,
+            operands: vec![Operand::Vec {
+                vals: vals.to_vec(),
+                ty: StreamTy::Value,
+            }],
+        }
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut m = VecMachine::new();
+        let a = entry(0, 0b11, &[1, 2]);
+        let b = entry(1, 0b01, &[3]);
+
+        let mut ab = DigestHandler::new();
+        ab.handle(&a, OpId::NONE, &mut m);
+        ab.handle(&b, OpId::NONE, &mut m);
+        let mut ba = DigestHandler::new();
+        ba.handle(&b, OpId::NONE, &mut m);
+        ba.handle(&a, OpId::NONE, &mut m);
+        assert_ne!(ab.digest().hash, ba.digest().hash, "order must matter");
+        assert_eq!(ab.digest().count, 2);
+
+        let mut ab2 = DigestHandler::new();
+        ab2.handle(&a, OpId::NONE, &mut m);
+        ab2.handle(&b, OpId::NONE, &mut m);
+        assert_eq!(ab.digest(), ab2.digest(), "digest must be deterministic");
+
+        let mut tweaked = DigestHandler::new();
+        tweaked.handle(&entry(0, 0b11, &[1, 3]), OpId::NONE, &mut m);
+        tweaked.handle(&b, OpId::NONE, &mut m);
+        assert_ne!(ab.digest(), tweaked.digest(), "content must matter");
+    }
+}

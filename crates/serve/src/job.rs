@@ -1,0 +1,83 @@
+//! Job specifications: what a tenant asks the service to run.
+
+/// Which Table 4 kernel a [`JobKind::Kernel`] job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum KernelKind {
+    /// Sparse matrix × dense vector.
+    Spmv,
+    /// Sparse matrix × sparse vector.
+    Spmspv,
+    /// Sparse matrix × sparse matrix (symbolic+numeric co-iteration).
+    Spmspm,
+    /// K-way sparse matrix addition.
+    Spkadd,
+    /// Sparse tensor (3-d) × dense vector.
+    Spttv,
+}
+
+impl KernelKind {
+    /// Stable display name, used in reports and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Spmv => "spmv",
+            KernelKind::Spmspv => "spmspv",
+            KernelKind::Spmspm => "spmspm",
+            KernelKind::Spkadd => "spkadd",
+            KernelKind::Spttv => "spttv",
+        }
+    }
+}
+
+/// The work a job performs. Doubles as the build-cache key: two jobs
+/// with equal `JobKind`s share one memoized tensor build, program, and
+/// memory image (the batching optimization).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum JobKind {
+    /// A Table 4 kernel over a synthetic uniform input.
+    Kernel {
+        /// Which kernel.
+        kind: KernelKind,
+        /// Rows of the input matrix (for SpTTV: the cube dimension).
+        rows: u32,
+        /// Nonzeros per row (for SpTTV: nnz = rows × this).
+        nnz_per_row: u32,
+        /// Generator seed — jobs differing only here do *not* batch.
+        seed: u64,
+    },
+    /// A `tmu-front` einsum expression over a synthetic base matrix.
+    Expr {
+        /// Expression source, e.g. `"y(i) = A(i,j:csr) * x(j)"`.
+        src: String,
+        /// Rows/cols of the square base matrix.
+        rows: u32,
+        /// Nonzeros per row of the base matrix.
+        nnz_per_row: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl JobKind {
+    /// Short label for reports (kernel name or `"expr"`).
+    pub fn label(&self) -> &str {
+        match self {
+            JobKind::Kernel { kind, .. } => kind.name(),
+            JobKind::Expr { .. } => "expr",
+        }
+    }
+}
+
+/// One job in the arrival trace.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Unique job id (also salts the job's private outQ window).
+    pub id: u32,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Arrival cycle (open-loop: fixed by the trace, not by service).
+    pub arrival: u64,
+    /// Scheduling weight under the weighted-fair policy (≥ 1).
+    pub weight: u32,
+    /// What to run.
+    pub kind: JobKind,
+}

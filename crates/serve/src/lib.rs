@@ -1,0 +1,59 @@
+//! `tmu-serve`: multi-tenant scheduling and serving with preemptive TMU
+//! virtualization.
+//!
+//! The paper's TMU is a per-core engine with an architectural context
+//! small enough to save and restore precisely (§5.6). This crate builds
+//! the system that exploits that property: a workload service that
+//! accepts a mix of jobs — Table 4 kernels and `tmu-front` einsum
+//! expressions, each tagged with a tenant, an arrival time, and a
+//! scheduling weight — admits them through bounded per-tenant queues,
+//! and time-shares a pool of simulated cores between them by quiescing
+//! and resuming TMU contexts at traversal-group-step boundaries.
+//!
+//! The load-bearing guarantee, pinned by this crate's differential
+//! tests: under *any* preemption schedule, each job's marshaled outQ
+//! entry stream is bit-identical to its solo fault-free run. Preemption
+//! changes *when* entries are produced, never *what* is produced.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tmu_serve::{serve, Policy, ServeConfig, TraceConfig};
+//!
+//! let trace = tmu_serve::synthesize(&TraceConfig {
+//!     tenants: 2,
+//!     jobs: 4,
+//!     mean_gap: 20_000,
+//!     seed: 7,
+//!     with_exprs: false,
+//! });
+//! let out = serve(
+//!     ServeConfig {
+//!         policy: Policy::RoundRobin,
+//!         quantum: 10_000,
+//!         ..ServeConfig::default()
+//!     },
+//!     trace,
+//! )
+//! .expect("serves");
+//! assert_eq!(out.outcomes.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+mod arrivals;
+mod build;
+mod digest;
+mod job;
+mod metrics;
+mod policy;
+mod server;
+
+pub use arrivals::{synthesize, tenant_weight, TraceConfig};
+pub use build::{BuildCache, BuiltJob, SERVE_LANES};
+pub use digest::{DigestHandler, EntryDigest};
+pub use job::{JobKind, JobSpec, KernelKind};
+pub use metrics::{percentile, tenant_reports, JobOutcome, LatencySummary, TenantReport};
+pub use policy::{Policy, PolicyState};
+pub use server::{serve, solo_digest, ServeConfig, ServeError, ServeOutcome, Server};

@@ -1,0 +1,180 @@
+//! Tenant-selection policies for the serving scheduler.
+//!
+//! The server asks the policy one question — "which backlogged tenant
+//! runs next?" — and reports back the cycles each dispatch consumed.
+//! Round-robin rotates over the backlogged tenants; weighted-fair is
+//! stride scheduling: each tenant owns a virtual *pass* that advances by
+//! `cycles / weight`, and the smallest pass runs next, so long-run CPU
+//! share converges to the weight ratio regardless of job sizes.
+
+use std::collections::BTreeMap;
+
+/// Which scheduling policy the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Policy {
+    /// Rotate over backlogged tenants, one dispatch each.
+    RoundRobin,
+    /// Stride scheduling by tenant weight.
+    WeightedFair,
+}
+
+impl Policy {
+    /// Stable display name used in reports and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round_robin",
+            Policy::WeightedFair => "weighted_fair",
+        }
+    }
+
+    /// Parses a policy label (`"round_robin"` / `"weighted_fair"`, with
+    /// `"rr"` / `"wf"` shorthands).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "round_robin" | "rr" => Some(Policy::RoundRobin),
+            "weighted_fair" | "wf" => Some(Policy::WeightedFair),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed-point scale of one stride unit (cycles × SCALE / weight keeps
+/// integer precision for small weights without overflow for realistic
+/// cycle counts).
+const STRIDE_SCALE: u64 = 1 << 10;
+
+/// Mutable policy state: the rotation cursor and the tenants' passes.
+#[derive(Debug)]
+pub struct PolicyState {
+    policy: Policy,
+    /// Last tenant round-robin dispatched (rotation resumes after it).
+    rr_last: Option<u32>,
+    /// Stride pass per tenant; lazily initialized to the current minimum
+    /// so a late-arriving tenant cannot monopolize the machine catching up.
+    passes: BTreeMap<u32, u64>,
+}
+
+impl PolicyState {
+    /// Fresh state for `policy`.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            policy,
+            rr_last: None,
+            passes: BTreeMap::new(),
+        }
+    }
+
+    /// The policy this state drives.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Picks the next tenant out of `backlogged` (sorted, deduplicated,
+    /// non-empty tenant ids with queued work). Returns `None` only when
+    /// `backlogged` is empty.
+    pub fn pick(&mut self, backlogged: &[u32]) -> Option<u32> {
+        if backlogged.is_empty() {
+            return None;
+        }
+        let choice = match self.policy {
+            Policy::RoundRobin => match self.rr_last {
+                // First backlogged tenant strictly after the last pick,
+                // wrapping to the smallest.
+                Some(last) => backlogged
+                    .iter()
+                    .copied()
+                    .find(|&t| t > last)
+                    .unwrap_or(backlogged[0]),
+                None => backlogged[0],
+            },
+            Policy::WeightedFair => {
+                let floor = backlogged
+                    .iter()
+                    .filter_map(|t| self.passes.get(t).copied())
+                    .min()
+                    .unwrap_or(0);
+                // Min pass wins; BTreeMap order makes the tie-break the
+                // lowest tenant id, deterministically.
+                backlogged
+                    .iter()
+                    .copied()
+                    .min_by_key(|t| *self.passes.entry(*t).or_insert(floor))
+                    .expect("backlogged is non-empty")
+            }
+        };
+        self.rr_last = Some(choice);
+        Some(choice)
+    }
+
+    /// Charges `cycles` of service at `weight` to `tenant` (advances its
+    /// stride pass). Round-robin ignores the charge.
+    pub fn charge(&mut self, tenant: u32, weight: u32, cycles: u64) {
+        if self.policy == Policy::WeightedFair {
+            let stride = cycles.saturating_mul(STRIDE_SCALE) / u64::from(weight.max(1));
+            *self.passes.entry(tenant).or_insert(0) += stride.max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_and_wraps() {
+        let mut p = PolicyState::new(Policy::RoundRobin);
+        let b = [1, 3, 7];
+        assert_eq!(p.pick(&b), Some(1));
+        assert_eq!(p.pick(&b), Some(3));
+        assert_eq!(p.pick(&b), Some(7));
+        assert_eq!(p.pick(&b), Some(1), "must wrap");
+        // A tenant draining out of the backlog is skipped.
+        assert_eq!(p.pick(&[3, 7]), Some(3));
+        assert_eq!(p.pick(&[]), None);
+    }
+
+    #[test]
+    fn weighted_fair_converges_to_weight_ratio() {
+        let mut p = PolicyState::new(Policy::WeightedFair);
+        let weights = |t: u32| if t == 1 { 3 } else { 1 };
+        let mut share = BTreeMap::new();
+        for _ in 0..400 {
+            let t = p.pick(&[1, 2]).expect("backlogged");
+            *share.entry(t).or_insert(0u64) += 1000;
+            p.charge(t, weights(t), 1000);
+        }
+        let (a, b) = (share[&1] as f64, share[&2] as f64);
+        let ratio = a / b;
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "3:1 weights must yield ~3:1 service, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn late_arrival_starts_at_the_current_floor() {
+        let mut p = PolicyState::new(Policy::WeightedFair);
+        for _ in 0..50 {
+            let t = p.pick(&[1]).expect("backlogged");
+            p.charge(t, 1, 10_000);
+        }
+        // Tenant 2 arrives with zero history; its pass initializes to the
+        // backlog floor, so it cannot starve tenant 1 "catching up".
+        let mut consecutive_2 = 0u32;
+        let mut max_consecutive_2 = 0u32;
+        for _ in 0..100 {
+            let t = p.pick(&[1, 2]).expect("backlogged");
+            if t == 2 {
+                consecutive_2 += 1;
+                max_consecutive_2 = max_consecutive_2.max(consecutive_2);
+            } else {
+                consecutive_2 = 0;
+            }
+            p.charge(t, 1, 10_000);
+        }
+        assert!(
+            max_consecutive_2 <= 2,
+            "late arrival must interleave, ran {max_consecutive_2} back-to-back"
+        );
+    }
+}

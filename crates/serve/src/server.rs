@@ -1,0 +1,473 @@
+//! The serving loop: admission, scheduling, and preemptive TMU
+//! virtualization over a pool of simulated cores.
+//!
+//! The server is a deterministic discrete-event simulation. Each serving
+//! slot is a [`ServedCore`] — a persistent core + private memory
+//! hierarchy whose clock survives across jobs. The loop always advances
+//! the slot whose clock is furthest behind, admits trace arrivals up to
+//! that slot's time into bounded per-tenant queues, asks the policy which
+//! backlogged tenant runs, and drives the chosen job for one quantum.
+//!
+//! Preemption is the §5.6 external context switch: the engine drains to
+//! its precise TG-step quiesce point ([`TmuAccelerator::quiesce`]), the
+//! slot flushes the sealed chunk's host ops, and the architectural
+//! context parks in the tenant's queue. Resumption rebuilds an engine
+//! from the snapshot ([`TmuAccelerator::resume_from`]) with the same
+//! callback handler, so the job's digest spans incarnations.
+//!
+//! One invariant the scheduler *must* uphold (documented on
+//! [`TmuAccelerator::steps_committed`]): never preempt a job before it
+//! has committed at least one TG step since its last resume — replay
+//! would otherwise reconstruct the same point forever under small
+//! quanta. The loop therefore only parks a job that made progress;
+//! otherwise it grants another quantum.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use tmu::context::ContextSnapshot;
+use tmu::{OutQStats, TmuAccelerator, TmuConfig, TmuError};
+use tmu_sim::{MemSysConfig, ServedCore, SimError, SlotStats};
+use tmu_trace::EventKind;
+
+use crate::build::{BuildCache, BuiltJob};
+use crate::digest::{DigestHandler, EntryDigest};
+use crate::job::JobSpec;
+use crate::metrics::JobOutcome;
+use crate::policy::{Policy, PolicyState};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Serving slots (simulated cores) in the pool.
+    pub slots: usize,
+    /// Scheduling quantum in cycles.
+    pub quantum: u64,
+    /// Bounded per-tenant admission queue capacity; arrivals beyond it
+    /// are rejected and counted.
+    pub queue_cap: usize,
+    /// Context-switch penalty charged to the slot on every dispatch of a
+    /// previously-parked context (save/restore is not free).
+    pub ctx_switch_cycles: u64,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Per-quantum no-progress watchdog window (cycles).
+    pub watchdog: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            slots: 2,
+            quantum: 40_000,
+            queue_cap: 64,
+            ctx_switch_cycles: 400,
+            policy: Policy::RoundRobin,
+            watchdog: 10_000_000,
+        }
+    }
+}
+
+/// What the serving run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Completed jobs, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Rejected arrivals per tenant.
+    pub rejected: BTreeMap<u32, u64>,
+    /// Cycle the last slot went quiet (max slot clock).
+    pub makespan: u64,
+    /// Scheduler-initiated preemptions (quiesce + park).
+    pub preemptions: u64,
+    /// Builds shared via the same-shape batch cache.
+    pub build_hits: u64,
+    /// Distinct shapes built.
+    pub build_misses: u64,
+    /// Per-slot statistics (busy/idle cycles, tenant attribution).
+    pub slots: Vec<SlotStats>,
+}
+
+impl ServeOutcome {
+    /// The digest of job `id`, if it completed.
+    pub fn digest_of(&self, id: u32) -> Option<EntryDigest> {
+        self.outcomes.iter().find(|o| o.id == id).map(|o| o.digest)
+    }
+}
+
+/// Serving-layer error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A job failed to build (tensor generation / program lowering).
+    Build {
+        /// Job id from the trace.
+        job: u32,
+        /// Build error detail.
+        detail: String,
+    },
+    /// The simulation wedged or exceeded its cycle limit.
+    Sim(SimError),
+    /// The engine rejected a quiesce/resume transition.
+    Engine(TmuError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Build { job, detail } => write!(f, "job {job} failed to build: {detail}"),
+            ServeError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+impl From<TmuError> for ServeError {
+    fn from(e: TmuError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// A parked job context: everything needed to resume on any slot.
+struct Parked {
+    snap: ContextSnapshot,
+    handler: DigestHandler,
+    stats: Arc<Mutex<OutQStats>>,
+}
+
+/// A job waiting in (or parked back into) a tenant queue.
+struct Waiting {
+    spec: JobSpec,
+    built: Arc<BuiltJob>,
+    parked: Option<Parked>,
+    first_start: Option<u64>,
+    service_cycles: u64,
+    preemptions: u32,
+}
+
+/// A job currently occupying a slot.
+struct Running {
+    waiting: Waiting,
+    engine: TmuAccelerator<DigestHandler>,
+    /// Committed-step count at the last dispatch — the progress floor the
+    /// preemption guard compares against.
+    resumed_at: u64,
+}
+
+struct Slot {
+    core: ServedCore,
+    running: Option<Running>,
+    /// No work, no future arrivals: excluded from the event loop.
+    retired: bool,
+}
+
+/// The multi-tenant serving engine. Owns the build cache, the policy
+/// state, and the slot pool for one [`Server::run`].
+pub struct Server {
+    cfg: ServeConfig,
+    cache: BuildCache,
+}
+
+impl Server {
+    /// A server with the given configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            cache: BuildCache::new(),
+        }
+    }
+
+    /// Serves `trace` to completion and reports what happened.
+    ///
+    /// The loop is single-threaded and consults no ambient state, so the
+    /// outcome is a pure function of the configuration and the trace.
+    pub fn run(&mut self, mut trace: Vec<JobSpec>) -> Result<ServeOutcome, ServeError> {
+        trace.sort_by_key(|j| (j.arrival, j.id));
+        let quantum = self.cfg.quantum.max(1);
+
+        let mut slots: Vec<Slot> = (0..self.cfg.slots.max(1))
+            .map(|_| Slot {
+                core: {
+                    let mut c = ServedCore::new(
+                        tmu_sim::CoreConfig::neoverse_n1_like(),
+                        MemSysConfig::table5(1),
+                    );
+                    c.set_watchdog(self.cfg.watchdog);
+                    c
+                },
+                running: None,
+                retired: false,
+            })
+            .collect();
+
+        let mut policy = PolicyState::new(self.cfg.policy);
+        let mut queues: BTreeMap<u32, VecDeque<Waiting>> = BTreeMap::new();
+        let mut rejected: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut preemptions = 0u64;
+        let mut next_arrival = 0usize;
+
+        // Event selection: the live slot furthest behind in simulated
+        // time runs next (ties break on slot index — deterministic).
+        while let Some(s) = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, sl)| !sl.retired)
+            .min_by_key(|(i, sl)| (sl.core.now(), *i))
+            .map(|(i, _)| i)
+        {
+            let now = slots[s].core.now();
+            admit(
+                &trace,
+                &mut next_arrival,
+                now,
+                &mut self.cache,
+                &mut queues,
+                &mut rejected,
+                self.cfg.queue_cap,
+            )?;
+
+            if slots[s].running.is_none() {
+                let backlogged: Vec<u32> = queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&t, _)| t)
+                    .collect();
+                match policy.pick(&backlogged) {
+                    Some(tenant) => {
+                        let waiting = queues
+                            .get_mut(&tenant)
+                            .and_then(VecDeque::pop_front)
+                            .expect("policy picked a backlogged tenant");
+                        self.dispatch(&mut slots[s], waiting)?;
+                    }
+                    None => {
+                        if next_arrival < trace.len() {
+                            // Idle until the next arrival lands.
+                            slots[s].core.skip_idle_to(trace[next_arrival].arrival);
+                        } else {
+                            slots[s].retired = true;
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // Drive one quantum.
+            let mut run = slots[s].running.take().expect("dispatched above");
+            let tenant = run.waiting.spec.tenant;
+            let out = slots[s].core.drive(&mut run.engine, tenant, quantum)?;
+            run.waiting.service_cycles += out.cycles;
+            policy.charge(tenant, run.waiting.spec.weight, out.cycles);
+
+            if out.finished {
+                let now = slots[s].core.now();
+                trace_event(
+                    now,
+                    EventKind::TenantComplete,
+                    (u64::from(tenant) << 32) | u64::from(run.waiting.spec.id),
+                );
+                outcomes.push(JobOutcome {
+                    id: run.waiting.spec.id,
+                    tenant,
+                    label: run.waiting.built.label.clone(),
+                    arrival: run.waiting.spec.arrival,
+                    first_start: run.waiting.first_start.unwrap_or(now),
+                    completion: now,
+                    service_cycles: run.waiting.service_cycles,
+                    preemptions: run.waiting.preemptions,
+                    digest: run.engine.handler().digest(),
+                });
+                continue;
+            }
+
+            // Preemption decision. Admit up to the post-quantum clock
+            // first so work that arrived mid-quantum counts as contention.
+            let now = slots[s].core.now();
+            admit(
+                &trace,
+                &mut next_arrival,
+                now,
+                &mut self.cache,
+                &mut queues,
+                &mut rejected,
+                self.cfg.queue_cap,
+            )?;
+            let contended = queues.values().any(|q| !q.is_empty());
+            let progressed = run.engine.steps_committed() > run.resumed_at;
+            if contended && progressed {
+                let snap = run
+                    .engine
+                    .quiesce(now, 0, slots[s].core.mem_mut())
+                    .map_err(ServeError::Engine)?;
+                // Flush the sealed chunk's host-side ops before the
+                // engine shell is torn down.
+                slots[s].core.drain(&mut run.engine, tenant)?;
+                let stats = run.engine.stats_handle();
+                let handler = run.engine.into_handler();
+                let mut waiting = run.waiting;
+                waiting.preemptions += 1;
+                waiting.parked = Some(Parked {
+                    snap,
+                    handler,
+                    stats,
+                });
+                preemptions += 1;
+                trace_event(
+                    slots[s].core.now(),
+                    EventKind::TenantPreempt,
+                    (u64::from(tenant) << 32) | u64::from(waiting.spec.id),
+                );
+                // Back to the *front* of the tenant's queue: a preempted
+                // job keeps its place in the tenant's own FIFO.
+                queues.entry(tenant).or_default().push_front(waiting);
+            } else {
+                // No contention (or no progress yet): grant another
+                // quantum on the same slot.
+                slots[s].running = Some(run);
+            }
+        }
+
+        let makespan = slots.iter().map(|sl| sl.core.now()).max().unwrap_or(0);
+        Ok(ServeOutcome {
+            outcomes,
+            rejected,
+            makespan,
+            preemptions,
+            build_hits: self.cache.hits(),
+            build_misses: self.cache.misses(),
+            slots: slots
+                .into_iter()
+                .map(|sl| sl.core.stats().clone())
+                .collect(),
+        })
+    }
+
+    /// Installs `waiting` on `slot` — fresh engine for a first dispatch,
+    /// [`TmuAccelerator::resume_from`] for a parked context.
+    fn dispatch(&self, slot: &mut Slot, mut waiting: Waiting) -> Result<(), ServeError> {
+        let now = slot.core.now();
+        // Context install penalty: the slot burns the switch cost before
+        // the engine runs.
+        slot.core.skip_idle_to(now + self.cfg.ctx_switch_cycles);
+        let outq_base = job_outq_base(&waiting.built, waiting.spec.id);
+        let mut engine = match waiting.parked.take() {
+            None => TmuAccelerator::try_new(
+                TmuConfig::paper(),
+                Arc::clone(&waiting.built.program),
+                Arc::clone(&waiting.built.image),
+                DigestHandler::new(),
+                outq_base,
+            )?,
+            Some(parked) => TmuAccelerator::resume_from(
+                &parked.snap,
+                Arc::clone(&waiting.built.image),
+                parked.handler,
+                outq_base,
+                parked.stats,
+            )?,
+        };
+        engine.set_tenant(waiting.spec.tenant);
+        if waiting.first_start.is_none() {
+            waiting.first_start = Some(slot.core.now());
+        }
+        trace_event(
+            slot.core.now(),
+            EventKind::TenantDispatch,
+            (u64::from(waiting.spec.tenant) << 32) | u64::from(waiting.spec.id),
+        );
+        let resumed_at = engine.steps_committed();
+        slot.running = Some(Running {
+            waiting,
+            engine,
+            resumed_at,
+        });
+        Ok(())
+    }
+}
+
+/// Each job writes its outQ chunks into a private window above the
+/// shape's base, salted by job id, so concurrently-served clones of one
+/// shape never alias chunk lines.
+fn job_outq_base(built: &BuiltJob, job_id: u32) -> u64 {
+    built.outq_base + (u64::from(job_id) << 28)
+}
+
+/// Admits every trace arrival at or before `now` into its tenant queue,
+/// building (or batch-sharing) the job on admission. Full queues reject.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    trace: &[JobSpec],
+    next_arrival: &mut usize,
+    now: u64,
+    cache: &mut BuildCache,
+    queues: &mut BTreeMap<u32, VecDeque<Waiting>>,
+    rejected: &mut BTreeMap<u32, u64>,
+    queue_cap: usize,
+) -> Result<(), ServeError> {
+    while *next_arrival < trace.len() && trace[*next_arrival].arrival <= now {
+        let spec = trace[*next_arrival].clone();
+        *next_arrival += 1;
+        let queue = queues.entry(spec.tenant).or_default();
+        if queue.len() >= queue_cap.max(1) {
+            *rejected.entry(spec.tenant).or_insert(0) += 1;
+            trace_event(now, EventKind::TenantReject, u64::from(spec.tenant));
+            continue;
+        }
+        let built = cache.get(&spec.kind).map_err(|detail| ServeError::Build {
+            job: spec.id,
+            detail,
+        })?;
+        queue.push_back(Waiting {
+            spec,
+            built,
+            parked: None,
+            first_start: None,
+            service_cycles: 0,
+            preemptions: 0,
+        });
+        trace_event(now, EventKind::QueueDepth, queue.len() as u64);
+    }
+    Ok(())
+}
+
+/// Emits a serving-layer trace event when a tracer is installed.
+fn trace_event(cycle: u64, kind: EventKind, payload: u64) {
+    tmu_trace::with(|t| {
+        let c = t.component("serve.sched");
+        t.event(c, cycle, kind, payload);
+    });
+}
+
+/// Runs `trace` through a fresh server and returns the outcome —
+/// convenience for tests and benches.
+pub fn serve(cfg: ServeConfig, trace: Vec<JobSpec>) -> Result<ServeOutcome, ServeError> {
+    Server::new(cfg).run(trace)
+}
+
+/// Solo baseline: runs one job alone on a fresh slot with no quantum
+/// bound and returns its digest — the reference stream the differential
+/// tests compare preempted runs against.
+pub fn solo_digest(built: &BuiltJob, job_id: u32) -> Result<EntryDigest, ServeError> {
+    let mut slot = ServedCore::new(
+        tmu_sim::CoreConfig::neoverse_n1_like(),
+        MemSysConfig::table5(1),
+    );
+    let mut engine = TmuAccelerator::try_new(
+        TmuConfig::paper(),
+        Arc::clone(&built.program),
+        Arc::clone(&built.image),
+        DigestHandler::new(),
+        job_outq_base(built, job_id),
+    )?;
+    let out = slot.drive(&mut engine, 0, u64::MAX)?;
+    debug_assert!(out.finished);
+    Ok(engine.handler().digest())
+}

@@ -50,6 +50,7 @@ mod memsys;
 mod noc;
 mod op;
 mod prefetch;
+mod served;
 mod stats;
 mod system;
 
@@ -65,6 +66,7 @@ pub use memsys::{MemSys, MemSysConfig};
 pub use noc::Mesh;
 pub use op::{Deps, Op, OpId, OpKind, Site};
 pub use prefetch::{BestOffsetPrefetcher, StridePrefetcher};
+pub use served::{DriveOutcome, ServedCore, SlotStats};
 pub use stats::{CacheLevelStats, MemStats, Roofline, RooflinePoint, RunStats};
 pub use system::{
     ChannelMachine, SimError, SkipHint, System, SystemConfig, CYCLE_LIMIT, DEFAULT_WATCHDOG_CYCLES,

@@ -1,0 +1,326 @@
+//! Re-entrant single-core driver for a serving scheduler.
+//!
+//! [`System::try_run_accelerated`] drives a fixed set of engines from
+//! cycle 0 to completion and then consumes itself — one job per core per
+//! run. A serving layer time-sharing a core across many jobs needs the
+//! opposite shape: a slot whose clock, core, and memory hierarchy persist
+//! while *different* accelerator incarnations come and go. [`ServedCore`]
+//! is that slot: each [`ServedCore::drive`] call advances the same clock
+//! loop as the batch driver for up to one scheduling quantum, then
+//! returns control to the scheduler, which may quiesce the engine, swap
+//! in another tenant's context, and call `drive` again.
+//!
+//! The slot accumulates per-tenant busy cycles ([`SlotStats`]) so the
+//! serving layer can report who consumed the machine.
+//!
+//! [`System::try_run_accelerated`]: crate::System::try_run_accelerated
+
+use std::collections::BTreeMap;
+
+use crate::accel::Accelerator;
+use crate::core::{Core, CoreConfig, OpSource};
+use crate::memsys::{MemSys, MemSysConfig};
+use crate::op::Op;
+use crate::system::{AccelSource, SimError, Watchdog, CYCLE_LIMIT, DEFAULT_WATCHDOG_CYCLES};
+
+/// Result of one [`ServedCore::drive`] quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Simulated cycles consumed by this call.
+    pub cycles: u64,
+    /// Whether the accelerator (and the core consuming its ops) fully
+    /// drained — the job segment is complete, nothing is left in flight.
+    pub finished: bool,
+}
+
+/// Aggregate statistics of one serving slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Cycles spent driving jobs.
+    pub busy_cycles: u64,
+    /// Cycles skipped while the slot sat idle awaiting arrivals.
+    pub idle_cycles: u64,
+    /// Job segments driven to completion.
+    pub segments_finished: u64,
+    /// Preemptions (quanta that expired with work still in flight).
+    pub preemptions: u64,
+    /// Busy cycles attributed per tenant id (deterministic order).
+    pub tenant_cycles: BTreeMap<u32, u64>,
+}
+
+/// One serving slot: a persistent core + private memory hierarchy whose
+/// clock survives across jobs. See the module docs.
+#[derive(Debug)]
+pub struct ServedCore {
+    core: Core,
+    mem: MemSys,
+    source: AccelSource,
+    now: u64,
+    watchdog_cycles: u64,
+    stats: SlotStats,
+    acks: Vec<u32>,
+    scratch: Vec<Op>,
+}
+
+impl ServedCore {
+    /// Builds a slot from a core and memory configuration. The memory
+    /// configuration should describe a single-core hierarchy (the slot
+    /// owns it exclusively).
+    pub fn new(core: CoreConfig, mem: MemSysConfig) -> Self {
+        Self {
+            core: Core::new(0, core),
+            mem: MemSys::new(mem),
+            source: AccelSource::default(),
+            now: 0,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
+            stats: SlotStats::default(),
+            acks: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The slot's current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The slot's accumulated statistics.
+    pub fn stats(&self) -> &SlotStats {
+        &self.stats
+    }
+
+    /// The slot's memory hierarchy — mutable so a scheduler can pass it
+    /// to an engine's quiesce path (sealing the open outQ chunk issues
+    /// accelerator writes at deschedule time).
+    pub fn mem_mut(&mut self) -> &mut MemSys {
+        &mut self.mem
+    }
+
+    /// Overrides the per-quantum no-progress watchdog window.
+    pub fn set_watchdog(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles.max(1);
+    }
+
+    /// Jumps the slot clock forward to `cycle` (an idle gap before the
+    /// next arrival). No-op if the slot is already past it.
+    pub fn skip_idle_to(&mut self, cycle: u64) {
+        if cycle > self.now {
+            let delta = cycle - self.now;
+            self.core.account_gap(delta);
+            self.stats.idle_cycles += delta;
+            self.now = cycle;
+        }
+    }
+
+    /// Advances the slot by up to `quantum` cycles while driving `accel`,
+    /// attributing the consumed cycles to `tenant`. Returns early with
+    /// `finished: true` as soon as the engine reports done, its op stream
+    /// has drained, and the core is idle.
+    ///
+    /// The quantum is a scheduling bound, not a correctness bound: the
+    /// caller decides whether to preempt (quiesce the engine) or grant
+    /// another quantum when the call returns unfinished.
+    pub fn drive(
+        &mut self,
+        accel: &mut dyn Accelerator,
+        tenant: u32,
+        quantum: u64,
+    ) -> Result<DriveOutcome, SimError> {
+        let start = self.now;
+        let mut watchdog = Watchdog::new(self.watchdog_cycles);
+        loop {
+            accel.tick(self.now, 0, &mut self.mem);
+            self.scratch.clear();
+            accel.drain_ops(&mut self.scratch);
+            self.source.buf.extend(self.scratch.drain(..));
+            self.source.producer_done = accel.done();
+
+            self.acks.clear();
+            self.core
+                .tick(self.now, &mut self.source, &mut self.mem, &mut self.acks);
+            for &chunk in &self.acks {
+                accel.ack_chunk(chunk, self.now);
+            }
+            let finished = self.source.done() && self.core.idle() && accel.done();
+            self.now += 1;
+            if finished {
+                return Ok(self.outcome(start, tenant, true));
+            }
+            if self.now >= CYCLE_LIMIT {
+                return Err(SimError::CycleLimit { limit: CYCLE_LIMIT });
+            }
+            let sig = [
+                self.core.stats.committed,
+                self.mem.demand_loads,
+                self.mem.accel_reads,
+                self.mem.accel_outq_lines,
+            ];
+            if watchdog.stuck(self.now, sig) {
+                let dump = self.dump_state(accel, tenant);
+                eprintln!("{dump}");
+                return Err(SimError::Watchdog {
+                    cycle: self.now,
+                    window: self.watchdog_cycles,
+                    dump,
+                });
+            }
+            if self.now - start >= quantum {
+                return Ok(self.outcome(start, tenant, false));
+            }
+        }
+    }
+
+    /// Drives `accel` until it fully drains, with no quantum bound (used
+    /// to flush a parked engine's sealed-chunk ops after a quiesce).
+    pub fn drain(&mut self, accel: &mut dyn Accelerator, tenant: u32) -> Result<u64, SimError> {
+        let out = self.drive(accel, tenant, u64::MAX)?;
+        debug_assert!(out.finished, "unbounded drive only returns on drain");
+        Ok(out.cycles)
+    }
+
+    fn outcome(&mut self, start: u64, tenant: u32, finished: bool) -> DriveOutcome {
+        let cycles = self.now - start;
+        self.stats.busy_cycles += cycles;
+        *self.stats.tenant_cycles.entry(tenant).or_insert(0) += cycles;
+        if finished {
+            self.stats.segments_finished += 1;
+        } else {
+            self.stats.preemptions += 1;
+        }
+        DriveOutcome { cycles, finished }
+    }
+
+    fn dump_state(&self, accel: &dyn Accelerator, tenant: u32) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "-- served-core watchdog dump @ cycle {} (tenant {tenant}) --",
+            self.now
+        );
+        let _ = writeln!(
+            s,
+            "core0: committed={} idle={}",
+            self.core.stats.committed,
+            self.core.idle()
+        );
+        let _ = writeln!(
+            s,
+            "mem: demand_loads={} accel_reads={} outq_lines={}",
+            self.mem.demand_loads, self.mem.accel_reads, self.mem.accel_outq_lines
+        );
+        let line = accel.status_line();
+        if !line.is_empty() {
+            let _ = writeln!(s, "accel: {line}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::NullAccelerator;
+    use crate::op::{Deps, Op, OpId, OpKind, Site};
+
+    fn slot() -> ServedCore {
+        ServedCore::new(CoreConfig::neoverse_n1_like(), MemSysConfig::table5(1))
+    }
+
+    /// Emits `n` int ops, one per tick, then reports done.
+    #[derive(Debug)]
+    struct Ticker {
+        left: u64,
+        next: u64,
+    }
+
+    impl Accelerator for Ticker {
+        fn tick(&mut self, _now: u64, _core: usize, _mem: &mut MemSys) {
+            if self.left > 0 {
+                self.left -= 1;
+                self.next += 1;
+            }
+        }
+        fn drain_ops(&mut self, out: &mut Vec<Op>) {
+            if self.next > 0 {
+                out.push(Op {
+                    id: OpId(self.next),
+                    site: Site(1),
+                    kind: OpKind::IntAlu,
+                    deps: Deps::NONE,
+                    visible_at: 0,
+                });
+                self.next = 0;
+            }
+        }
+        fn ack_chunk(&mut self, _chunk: u32, _now: u64) {}
+        fn done(&self) -> bool {
+            self.left == 0
+        }
+    }
+
+    #[test]
+    fn quantum_bounds_a_drive_and_the_clock_persists() {
+        let mut s = slot();
+        let mut accel = Ticker { left: 500, next: 0 };
+        let out = s.drive(&mut accel, 7, 100).expect("no wedge");
+        assert!(!out.finished);
+        assert_eq!(out.cycles, 100);
+        assert_eq!(s.now(), 100);
+        let out = s.drive(&mut accel, 7, u64::MAX).expect("no wedge");
+        assert!(out.finished);
+        assert!(s.now() > 500, "all 500 ops must commit");
+        assert_eq!(s.stats().preemptions, 1);
+        assert_eq!(s.stats().segments_finished, 1);
+        assert_eq!(
+            s.stats().tenant_cycles.get(&7).copied(),
+            Some(s.stats().busy_cycles)
+        );
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped_and_accounted() {
+        let mut s = slot();
+        s.skip_idle_to(10_000);
+        assert_eq!(s.now(), 10_000);
+        assert_eq!(s.stats().idle_cycles, 10_000);
+        // Skipping backwards is a no-op.
+        s.skip_idle_to(5_000);
+        assert_eq!(s.now(), 10_000);
+        let mut accel = NullAccelerator;
+        let out = s.drive(&mut accel, 0, 50).expect("drains");
+        assert!(out.finished, "a null job drains immediately");
+        assert!(s.now() >= 10_000);
+    }
+
+    /// Busy forever, produces nothing: the per-quantum watchdog must fire
+    /// even though the scheduler asked for an unbounded drain.
+    #[derive(Debug)]
+    struct Wedged;
+
+    impl Accelerator for Wedged {
+        fn tick(&mut self, _now: u64, _core: usize, _mem: &mut MemSys) {}
+        fn drain_ops(&mut self, _out: &mut Vec<Op>) {}
+        fn ack_chunk(&mut self, _chunk: u32, _now: u64) {}
+        fn done(&self) -> bool {
+            false
+        }
+        fn status_line(&self) -> String {
+            "wedged-tenant-job".into()
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_inside_a_drive() {
+        let mut s = slot();
+        s.set_watchdog(5_000);
+        match s.drive(&mut Wedged, 3, u64::MAX) {
+            Err(SimError::Watchdog { window, dump, .. }) => {
+                assert_eq!(window, 5_000);
+                assert!(dump.contains("wedged-tenant-job"));
+                assert!(dump.contains("tenant 3"));
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+    }
+}

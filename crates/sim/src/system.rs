@@ -146,9 +146,9 @@ impl OpSource for ChannelSource {
 
 /// Op source fed by an accelerator's callback stream.
 #[derive(Debug, Default)]
-struct AccelSource {
-    buf: VecDeque<Op>,
-    producer_done: bool,
+pub(crate) struct AccelSource {
+    pub(crate) buf: VecDeque<Op>,
+    pub(crate) producer_done: bool,
 }
 
 impl OpSource for AccelSource {
@@ -239,14 +239,14 @@ impl std::error::Error for SimError {}
 
 /// Forward-progress monitor: fires when an observed signature stays
 /// unchanged for a full window of simulated cycles.
-struct Watchdog {
+pub(crate) struct Watchdog {
     window: u64,
     sig: [u64; 4],
     last_change: u64,
 }
 
 impl Watchdog {
-    fn new(window: u64) -> Self {
+    pub(crate) fn new(window: u64) -> Self {
         Self {
             window,
             sig: [u64::MAX; 4],
@@ -256,7 +256,7 @@ impl Watchdog {
 
     /// Returns `true` if `sig` has not changed for a full window ending
     /// at `now`.
-    fn stuck(&mut self, now: u64, sig: [u64; 4]) -> bool {
+    pub(crate) fn stuck(&mut self, now: u64, sig: [u64; 4]) -> bool {
         if sig != self.sig {
             self.sig = sig;
             self.last_change = now;

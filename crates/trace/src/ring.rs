@@ -52,6 +52,22 @@ pub enum EventKind {
     /// The system watchdog detected no forward progress and aborted the
     /// run (payload: the no-progress window in cycles).
     WatchdogFired,
+    /// A scheduler dispatched a tenant's job onto a serving slot
+    /// (payload: `tenant << 32 | job id`).
+    TenantDispatch,
+    /// A scheduler preempted a tenant's job — quiesce + context save
+    /// (payload: `tenant << 32 | job id`).
+    TenantPreempt,
+    /// A tenant's job ran to completion (payload: `tenant << 32 | job id`).
+    TenantComplete,
+    /// A tenant's admission queue rejected an arrival — the bounded queue
+    /// was full (payload: tenant id).
+    TenantReject,
+
+    // -- counter samples (serving layer) --
+    /// Jobs waiting in one tenant's admission queue (sampled by the
+    /// serving layer's queue-depth sampler; payload: depth).
+    QueueDepth,
 
     // -- duration events (payload: `pack_dur_extra`) --
     /// A TU issued a new cacheline fetch; the duration is the memory
@@ -94,6 +110,7 @@ impl EventKind {
                 | EventKind::OutQChunksAhead
                 | EventKind::MshrBusy
                 | EventKind::DramOpenRows
+                | EventKind::QueueDepth
         )
     }
 
@@ -115,6 +132,11 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::TrapRaised => "trap_raised",
             EventKind::WatchdogFired => "watchdog_fired",
+            EventKind::TenantDispatch => "tenant_dispatch",
+            EventKind::TenantPreempt => "tenant_preempt",
+            EventKind::TenantComplete => "tenant_complete",
+            EventKind::TenantReject => "tenant_reject",
+            EventKind::QueueDepth => "queue_depth",
             EventKind::TuFetch => "tu_fetch",
             EventKind::TgStep => "tg_step",
             EventKind::ChunkWrite => "chunk_write",

@@ -33,4 +33,13 @@ cargo test -q --release --test fault_resilience
 # panic is caught and typed.
 TMU_FAULT_RATE=50 cargo run --release -q -p tmu-bench --bin faults
 
+echo "== serving layer: differential grid + two-tenant smoke (both policies) =="
+cargo test -q --release -p tmu-serve
+# A small contended trace under each policy; the serving DES is
+# single-threaded, so the rows must come out deterministic.
+TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=rr \
+    cargo run --release -q -p tmu-bench --bin serve
+TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=wf \
+    cargo run --release -q -p tmu-bench --bin serve
+
 echo "verify.sh: all gates passed"

@@ -216,6 +216,103 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// §5.6 external snapshots are idempotent: nested save/restore
+    /// cycles with no progress in between (a scheduler preempting a job
+    /// the instant it resumes, repeatedly) and randomized back-to-back
+    /// preemption quanta must neither perturb the marshaled stream nor
+    /// drift the architectural context.
+    #[test]
+    fn nested_preemption_snapshots_are_idempotent(
+        quanta in prop::collection::vec(50u64..3_000, 1..6),
+        nested in 1usize..4,
+    ) {
+        let w = Spmv::new(&gen::uniform(64, 64, 4, 19));
+        let prog = Arc::new(w.build_program((0, 64), 8));
+        let image = w.image_handle();
+        let base = w.outq_base(0);
+
+        let mut clean = recorder_accel(&prog, &image, base, FaultSpec::none());
+        drive(&mut clean);
+        let clean_entries = clean.handler().entries.clone();
+
+        let first = recorder_accel(&prog, &image, base, FaultSpec::none());
+        let stats = first.stats_handle();
+        let mut accel = first;
+        let mut mem = MemSys::new(MemSysConfig::table5(1));
+        let mut now = 0u64;
+        let mut sink: Vec<Op> = Vec::new();
+        let mut switches = 0usize;
+        loop {
+            // One quantum, extended until the engine commits at least one
+            // step since resume (the progress guarantee any preemptive
+            // scheduler must provide).
+            let quantum = quanta[switches % quanta.len()];
+            let resumed_at = accel.steps_committed();
+            let until = now + quantum;
+            while !accel.done() && (now < until || accel.steps_committed() == resumed_at) {
+                accel.tick(now, 0, &mut mem);
+                accel.drain_ops(&mut sink);
+                for op in &sink {
+                    if let OpKind::ChunkEnd { chunk } = op.kind {
+                        accel.ack_chunk(chunk, now);
+                    }
+                }
+                sink.clear();
+                now += 1;
+                prop_assert!(now < 20_000_000, "preempted engine must terminate");
+            }
+            if accel.done() {
+                break;
+            }
+            let mut snap = accel.quiesce(now, 0, &mut mem).expect("engine is live");
+            accel.drain_ops(&mut sink);
+            for op in &sink {
+                if let OpKind::ChunkEnd { chunk } = op.kind {
+                    accel.ack_chunk(chunk, now);
+                }
+            }
+            sink.clear();
+            prop_assert!(accel.parked(), "quiesced engine reports parked");
+            let mut handler = accel.into_handler();
+            // Nested preemptions: resume, then quiesce again before a
+            // single tick. The re-captured context must be identical to
+            // the one just restored — save/restore is a fixed point.
+            for _ in 0..nested {
+                let mut inner = TmuAccelerator::resume_from(
+                    &snap,
+                    Arc::clone(&image),
+                    handler,
+                    base,
+                    Arc::clone(&stats),
+                )
+                .expect("snapshot restores");
+                let resnap = inner.quiesce(now, 0, &mut mem).expect("fresh resume is live");
+                prop_assert_eq!(resnap.steps_completed, snap.steps_completed);
+                prop_assert_eq!(resnap.chunks_sealed, snap.chunks_sealed);
+                prop_assert_eq!(resnap.entries_produced, snap.entries_produced);
+                prop_assert_eq!(resnap.tenant, snap.tenant);
+                handler = inner.into_handler();
+                snap = resnap;
+            }
+            accel = TmuAccelerator::resume_from(
+                &snap,
+                Arc::clone(&image),
+                handler,
+                base,
+                Arc::clone(&stats),
+            )
+            .expect("snapshot restores");
+            switches += 1;
+        }
+        prop_assert_eq!(&accel.handler().entries, &clean_entries);
+        let st = stats.lock().expect("stats poisoned");
+        prop_assert_eq!(st.entries, clean.stats().entries);
+    }
+}
+
 #[test]
 fn unserviceable_fault_retires_instead_of_wedging() {
     let w = Spmv::new(&gen::uniform(64, 64, 4, 19));

@@ -281,6 +281,7 @@ pub mod collection {
 
 /// The glob-import surface tests use (`use proptest::prelude::*`).
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
     };
