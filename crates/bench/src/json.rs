@@ -14,11 +14,11 @@
 //! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
 //! `null`.
 //!
-//! Schema (`schema_version` 2):
+//! Schema (`schema_version` 3):
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "figures": {
 //!     "<figure>": [ { <BenchRow fields> }, ... ],
 //!     ...
@@ -29,6 +29,12 @@
 //! Version 2 adds the serving-layer fields (`tenant`, `queue_cycles`,
 //! `service_cycles`, `lat_p50`/`lat_p95`/`lat_p99`), emitted only on rows
 //! carrying a tenant — kernel/figure rows are byte-identical to v1.
+//!
+//! Version 3 adds the alternative-backend observables: `tile_occupancy`
+//! (mean live-lane fraction per 4×8 tile, `blocked-sve` rows) and
+//! `stream_tokens` (tokens crossing the stream fabric, `sam-stream`
+//! rows). Each is emitted only on rows of its own engine, so every
+//! pre-existing row stays byte-identical to v2.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -147,6 +153,12 @@ pub struct BenchRow {
     pub lat_p95: u64,
     /// p99 of the tenant's sojourn latency (cycles).
     pub lat_p99: u64,
+    /// Mean fraction of live lanes per 4×8 tile (schema v3; emitted only
+    /// on `blocked-sve` rows).
+    pub tile_occupancy: Option<f64>,
+    /// Tokens that crossed the stream fabric (schema v3; emitted only on
+    /// `sam-stream` rows).
+    pub stream_tokens: Option<u64>,
 }
 
 fn push_str(out: &mut String, s: &str) {
@@ -247,6 +259,15 @@ impl BenchRow {
         u64_field!("outq_chunks", self.outq_chunks);
         u64_field!("outq_backpressure_cycles", self.outq_backpressure_cycles);
         f64_field!("outq_read_to_write", self.outq_read_to_write);
+        // Alternative-backend observables (schema v3): each key appears
+        // only on rows of its own engine, so rows from every other engine
+        // stay byte-identical to v2.
+        if let Some(occ) = self.tile_occupancy {
+            f64_field!("tile_occupancy", occ);
+        }
+        if let Some(tok) = self.stream_tokens {
+            u64_field!("stream_tokens", tok);
+        }
         // Resilience telemetry is opt-in: the keys appear only on rows
         // that failed, fell back, or ran with injected faults, keeping
         // fault-free bench.json output byte-identical to older schemas.
@@ -292,7 +313,7 @@ pub fn record(figure: &str, rows: Vec<BenchRow>) {
 
 fn render(figures: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
-    out.push_str("{\n\"schema_version\":2,\n\"figures\":{\n");
+    out.push_str("{\n\"schema_version\":3,\n\"figures\":{\n");
     let mut first_fig = true;
     for (figure, body) in figures {
         if !first_fig {
@@ -598,7 +619,7 @@ mod tests {
         );
         record("zz_test_fig_b", Vec::new());
         let s = render_bench_json();
-        assert!(s.contains("\"schema_version\":2"));
+        assert!(s.contains("\"schema_version\":3"));
         assert!(s.contains("\"zz_test_fig_a\":["));
         assert!(s.contains("\"zz_test_fig_b\":["));
         // Re-recording replaces, not appends.
@@ -687,6 +708,61 @@ mod tests {
             "lat_p99",
         ] {
             assert!(!p.contains(key), "v1-shaped row must omit {key}: {p}");
+        }
+        validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
+    }
+
+    #[test]
+    fn schema_v3_backend_fields_pin_and_roundtrip() {
+        // A blocked-sve row carries only tile_occupancy, a sam-stream row
+        // only stream_tokens — and each lands right after the outQ block.
+        let blocked = BenchRow {
+            figure: "matrix".into(),
+            kernel: "SpMV".into(),
+            engine: "blocked-sve".into(),
+            machine: "table5".into(),
+            tile_occupancy: Some(0.625),
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        blocked.write(&mut s);
+        assert!(
+            s.contains("\"outq_read_to_write\":0,\"tile_occupancy\":0.625}"),
+            "v3 occupancy pinned after the outQ block: {s}"
+        );
+        assert!(!s.contains("stream_tokens"), "{s}");
+        validate(&format!("[{s}]")).expect("blocked row must be well-formed JSON");
+
+        let sam = BenchRow {
+            figure: "matrix".into(),
+            kernel: "SpMV".into(),
+            engine: "sam-stream".into(),
+            machine: "table5".into(),
+            stream_tokens: Some(4096),
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        sam.write(&mut s);
+        assert!(
+            s.contains("\"outq_read_to_write\":0,\"stream_tokens\":4096}"),
+            "v3 tokens pinned after the outQ block: {s}"
+        );
+        assert!(!s.contains("tile_occupancy"), "{s}");
+        validate(&format!("[{s}]")).expect("sam row must be well-formed JSON");
+
+        // Rows from every other engine emit neither key — byte-identical
+        // to the v2 layout.
+        let plain = BenchRow {
+            figure: "matrix".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            ..BenchRow::default()
+        };
+        let mut p = String::new();
+        plain.write(&mut p);
+        for key in ["tile_occupancy", "stream_tokens"] {
+            assert!(!p.contains(key), "v2-shaped row must omit {key}: {p}");
         }
         validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
     }

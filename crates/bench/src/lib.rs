@@ -32,6 +32,7 @@ use tmu_kernels::{
     mttkrp::{Mttkrp, MttkrpVariant},
     pagerank::PageRank,
     spkadd::Spkadd,
+    spmm::Spmm,
     spmspm::Spmspm,
     spmv::Spmv,
     sptc::Sptc,
@@ -197,6 +198,7 @@ impl Report {
 pub fn matrix_kernel(kernel: &str, m: &CsrMatrix) -> Box<dyn Workload> {
     match kernel {
         "SpMV" => Box::new(Spmv::new(m)),
+        "SpMM" => Box::new(Spmm::new(m)),
         "SpMSpM" => Box::new(Spmspm::new(m)),
         "SpKAdd" => Box::new(Spkadd::new(m)),
         "PR" => Box::new(PageRank::new(m)),

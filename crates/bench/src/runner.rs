@@ -109,9 +109,54 @@ pub enum EngineVariant {
     SingleLane,
     /// The full TMU.
     Tmu,
+    /// Register-tiled BCSR software path (`tmu_backends::blocked`): the
+    /// matrix is re-marshaled into 4×8 tiles and streamed through dense
+    /// SVE micro-kernels, trading wasted lanes (tile occupancy) for
+    /// regular accesses.
+    BlockedSve,
+    /// Cycle-approximate SAM-style streaming dataflow model
+    /// (`tmu_backends::sam`): level scanners, mergers and reducers
+    /// connected by bounded token queues, compiled from the same
+    /// iteration graph the TMU path lowers from.
+    SamStream,
 }
 
+/// A string that names no [`EngineVariant`]; lists the accepted names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEngine {
+    /// The rejected argument, verbatim.
+    pub arg: String,
+}
+
+impl std::fmt::Display for UnknownEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?}; valid engines: {} (aliases: single, baseline, sve, scalar, blocked, sam)",
+            self.arg,
+            EngineVariant::ALL
+                .iter()
+                .map(|e| e.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownEngine {}
+
 impl EngineVariant {
+    /// Every variant, in the order the four-way matrix prints them last.
+    pub const ALL: [EngineVariant; 7] = [
+        EngineVariant::BaselineScalar,
+        EngineVariant::BaselineSve,
+        EngineVariant::Imp,
+        EngineVariant::SingleLane,
+        EngineVariant::Tmu,
+        EngineVariant::BlockedSve,
+        EngineVariant::SamStream,
+    ];
+
     /// Label used in reports and `bench.json` rows.
     pub fn label(&self) -> &'static str {
         match self {
@@ -120,7 +165,28 @@ impl EngineVariant {
             EngineVariant::Imp => "imp",
             EngineVariant::SingleLane => "single-lane",
             EngineVariant::Tmu => "tmu",
+            EngineVariant::BlockedSve => "blocked-sve",
+            EngineVariant::SamStream => "sam-stream",
         }
+    }
+
+    /// Parses a CLI engine name (the canonical [`Self::label`] plus a few
+    /// short aliases). The error lists every valid name.
+    pub fn parse(arg: &str) -> Result<Self, UnknownEngine> {
+        Ok(match arg {
+            "tmu" => EngineVariant::Tmu,
+            "single-lane" | "single" => EngineVariant::SingleLane,
+            "baseline" | "baseline-sve" | "sve" => EngineVariant::BaselineSve,
+            "baseline-scalar" | "scalar" => EngineVariant::BaselineScalar,
+            "imp" => EngineVariant::Imp,
+            "blocked-sve" | "blocked" => EngineVariant::BlockedSve,
+            "sam-stream" | "sam" => EngineVariant::SamStream,
+            other => {
+                return Err(UnknownEngine {
+                    arg: other.to_owned(),
+                })
+            }
+        })
     }
 
     fn uses_tmu_config(&self) -> bool {
@@ -204,6 +270,20 @@ impl Job {
     /// cache. Every keyed type is plain data, so `Debug` is a faithful,
     /// stable rendering of the configuration.
     pub fn key(&self) -> String {
+        // The engine's Debug rendering is the only field telling two
+        // engines on identical data apart: if any two variants ever
+        // rendered alike, the memo cache would silently serve one
+        // engine's timings as the other's.
+        #[cfg(debug_assertions)]
+        for (i, a) in EngineVariant::ALL.iter().enumerate() {
+            for b in &EngineVariant::ALL[i + 1..] {
+                debug_assert_ne!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "engine variants must render distinct memo keys"
+                );
+            }
+        }
         let tmu = self.engine.uses_tmu_config().then_some(&self.tmu);
         format!(
             "{}|{:?}|{:?}|{:?}|{:?}|{:?}",
@@ -227,11 +307,16 @@ impl Job {
         }
     }
 
+    /// Compiles the job's expression over its base matrix, panicking with
+    /// the rendered diagnostic when the source does not compile.
+    fn build_expr(&self, src: &str) -> ExprWorkload {
+        ExprWorkload::new(src, &self.base_matrix())
+            .unwrap_or_else(|e| panic!("expression does not compile:\n{}", e.render(src)))
+    }
+
     fn build(&self) -> Box<dyn Workload> {
         if let Some(src) = &self.expr {
-            let w = ExprWorkload::new(src, &self.base_matrix())
-                .unwrap_or_else(|e| panic!("expression does not compile:\n{}", e.render(src)));
-            return Box::new(w);
+            return Box::new(self.build_expr(src));
         }
         match self.input {
             InputSpec::Table6 { id, scale } => {
@@ -254,6 +339,15 @@ impl Job {
     /// Panics if the kernel does not support the requested engine variant
     /// (e.g. [`EngineVariant::Imp`] outside SpMV/SpMSpM).
     pub fn run(&self) -> RunResult {
+        // The alternative backends consume the expression workload (or
+        // the raw matrix) directly instead of the `Workload` trait — the
+        // trait's run methods are shaped around the baseline/TMU op
+        // streams.
+        match self.engine {
+            EngineVariant::BlockedSve => return self.run_blocked(),
+            EngineVariant::SamStream => return self.run_sam(),
+            _ => {}
+        }
         let w = self.build();
         let kind = w.kind();
         let from_stats = |stats: RunStats| RunResult {
@@ -263,8 +357,13 @@ impl Job {
             outq: Vec::new(),
             error: None,
             fallback: None,
+            tile_occupancy: None,
+            stream_tokens: None,
         };
         match self.engine {
+            EngineVariant::BlockedSve | EngineVariant::SamStream => {
+                unreachable!("dispatched above")
+            }
             EngineVariant::BaselineSve => from_stats(w.run_baseline(self.sys)),
             EngineVariant::BaselineScalar => {
                 let mut sys = self.sys;
@@ -310,6 +409,8 @@ impl Job {
                         outq,
                         error: None,
                         fallback: Some(reason),
+                        tile_occupancy: None,
+                        stream_tokens: None,
                     };
                 }
                 let mut registry = run.stats.registry();
@@ -321,8 +422,77 @@ impl Job {
                     outq,
                     error: None,
                     fallback: None,
+                    tile_occupancy: None,
+                    stream_tokens: None,
                 }
             }
+        }
+    }
+
+    /// Runs this job on the register-tiled BCSR software path
+    /// ([`tmu_backends::blocked`]). Panics — caught by the runner as a
+    /// typed failure — when the kernel or expression has no blocked
+    /// lowering.
+    fn run_blocked(&self) -> RunResult {
+        use tmu_backends::blocked;
+        let (kind, run) = if let Some(src) = &self.expr {
+            let w = self.build_expr(src);
+            if !blocked::supports_expr(&w) {
+                panic!("{src:?} has no blocked-sve lowering");
+            }
+            (w.kind(), blocked::run_expr(&w, self.sys))
+        } else {
+            if !blocked::supports(self.kernel) {
+                panic!("{} has no blocked-sve variant", self.kernel);
+            }
+            let m = self.base_matrix();
+            let kind = matrix_kernel(self.kernel, &m).kind();
+            (kind, blocked::run_kernel(self.kernel, &m, self.sys))
+        };
+        let mut registry = run.stats.registry();
+        registry.set_counter("system.blocked.tiles", run.tiles);
+        registry.set_gauge("system.blocked.tile_occupancy", run.tile_occupancy);
+        RunResult {
+            kind,
+            registry: Some(registry),
+            stats: run.stats,
+            outq: Vec::new(),
+            error: None,
+            fallback: None,
+            tile_occupancy: Some(run.tile_occupancy),
+            stream_tokens: None,
+        }
+    }
+
+    /// Runs this job on the SAM-style streaming dataflow model
+    /// ([`tmu_backends::sam`]). Panics — caught by the runner as a typed
+    /// failure — when the kernel has no streaming einsum form.
+    fn run_sam(&self) -> RunResult {
+        use tmu_backends::sam;
+        let (kind, run) = if let Some(src) = &self.expr {
+            let w = self.build_expr(src);
+            (w.kind(), sam::run_expr(&w, self.sys))
+        } else {
+            if !sam::supports(self.kernel) {
+                panic!("{} has no sam-stream variant", self.kernel);
+            }
+            let m = self.base_matrix();
+            let kind = matrix_kernel(self.kernel, &m).kind();
+            (kind, sam::run_kernel(self.kernel, &m, self.sys))
+        };
+        let mut registry = run.stats.registry();
+        registry.set_counter("system.sam.tokens", run.tokens);
+        registry.set_counter("system.sam.merger_stalls", run.merger_stalls);
+        registry.set_counter("system.sam.nodes", run.nodes as u64);
+        RunResult {
+            kind,
+            registry: Some(registry),
+            stats: run.stats,
+            outq: Vec::new(),
+            error: None,
+            fallback: None,
+            tile_occupancy: None,
+            stream_tokens: Some(run.tokens),
         }
     }
 }
@@ -348,6 +518,12 @@ pub struct RunResult {
     /// Why the TMU engine retired and the job fell back to the software
     /// baseline (the stats are then baseline timings), if it did.
     pub fallback: Option<String>,
+    /// Mean fraction of live lanes per 4×8 tile —
+    /// [`EngineVariant::BlockedSve`] rows only (schema-v3 column).
+    pub tile_occupancy: Option<f64>,
+    /// Tokens that crossed the stream fabric —
+    /// [`EngineVariant::SamStream`] rows only (schema-v3 column).
+    pub stream_tokens: Option<u64>,
 }
 
 impl RunResult {
@@ -360,6 +536,8 @@ impl RunResult {
             outq: Vec::new(),
             error: Some(msg.into()),
             fallback: None,
+            tile_occupancy: None,
+            stream_tokens: None,
         }
     }
 
@@ -423,6 +601,8 @@ pub fn bench_row(figure: &str, machine: &str, job: &Job, res: &RunResult) -> Ben
         fault_injected: res.outq.iter().map(|o| o.faults_injected).sum(),
         fault_traps: res.outq.iter().map(|o| o.fault_traps).sum(),
         fault_restores: res.outq.iter().map(|o| o.fault_restores).sum(),
+        tile_occupancy: res.tile_occupancy,
+        stream_tokens: res.stream_tokens,
         ..BenchRow::default()
     }
 }
@@ -959,6 +1139,119 @@ mod tests {
         let row = bench_row("figX", "table5", &job, &res);
         assert_eq!(row.fallback.as_deref(), Some(why));
         assert!(row.fault_injected > 0);
+    }
+
+    #[test]
+    fn every_engine_variant_maps_to_a_distinct_memo_key() {
+        // Pin for the memo-cache seam: if two engines ever rendered the
+        // same key, the cache would serve one engine's timings as the
+        // other's — silently.
+        let input = InputSpec::Uniform {
+            rows: 64,
+            cols: 64,
+            nnz_per_row: 2,
+            seed: 3,
+        };
+        let keys: Vec<String> = EngineVariant::ALL
+            .iter()
+            .map(|&e| Job::new("SpMV", input, e).key())
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "two engine variants share a memo key");
+            }
+        }
+        // The CLI parser round-trips every canonical label and its error
+        // names both the bad argument and the valid engines.
+        for e in EngineVariant::ALL {
+            assert_eq!(EngineVariant::parse(e.label()), Ok(e));
+        }
+        assert_eq!(
+            EngineVariant::parse("blocked"),
+            Ok(EngineVariant::BlockedSve)
+        );
+        assert_eq!(EngineVariant::parse("sam"), Ok(EngineVariant::SamStream));
+        let msg = EngineVariant::parse("warp-drive").unwrap_err().to_string();
+        assert!(
+            msg.contains("warp-drive")
+                && msg.contains("blocked-sve")
+                && msg.contains("sam-stream")
+                && msg.contains("tmu"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn alternative_backends_run_through_the_runner() {
+        let input = InputSpec::Uniform {
+            rows: 128,
+            cols: 96,
+            nnz_per_row: 4,
+            seed: 9,
+        };
+        let runner = Runner::with_workers(2);
+        let jobs = [
+            Job::new("SpMV", input, EngineVariant::BlockedSve),
+            Job::new("SpMV", input, EngineVariant::SamStream),
+            Job::expression("y(i) = A(i,j:csr) * x(j)", input, EngineVariant::BlockedSve),
+            Job::expression(
+                "Z(i,j) = A(i,k:csr) * B(k,j:csr)",
+                input,
+                EngineVariant::SamStream,
+            ),
+        ];
+        let res = runner.run_all(&jobs);
+        for (r, job) in res.iter().zip(&jobs) {
+            assert!(r.error.is_none(), "{}: {:?}", job.key(), r.error);
+            assert!(r.stats.cycles > 0, "{}", job.key());
+            assert!(r.outq.is_empty(), "software paths have no outQ");
+        }
+        // Engine-specific observables land on their own rows only.
+        let occ = res[0].tile_occupancy.expect("blocked rows carry occupancy");
+        assert!(occ > 0.0 && occ <= 1.0);
+        assert!(res[0].stream_tokens.is_none());
+        assert!(res[1].stream_tokens.expect("sam rows carry tokens") > 0);
+        assert!(res[1].tile_occupancy.is_none());
+        let breg = res[0].registry.as_ref().expect("registry populated");
+        assert!(breg.counter("system.blocked.tiles").unwrap_or(0) > 0);
+        assert_eq!(breg.gauge("system.blocked.tile_occupancy"), Some(occ));
+        let sreg = res[1].registry.as_ref().expect("registry populated");
+        assert_eq!(sreg.counter("system.sam.tokens"), res[1].stream_tokens);
+        assert!(sreg.counter("system.sam.merger_stalls").is_some());
+        // bench_row copies the schema-v3 columns verbatim.
+        let brow = bench_row("figX", "table5", &jobs[0], &res[0]);
+        assert_eq!(brow.tile_occupancy, res[0].tile_occupancy);
+        assert_eq!(brow.stream_tokens, None);
+        let srow = bench_row("figX", "table5", &jobs[1], &res[1]);
+        assert_eq!(srow.stream_tokens, res[1].stream_tokens);
+        assert_eq!(srow.tile_occupancy, None);
+    }
+
+    #[test]
+    fn unsupported_backend_combinations_panic_with_the_engine_name() {
+        // Direct catch_unwind — not the runner — so the process-global
+        // failed-job counter other tests assert on stays untouched.
+        let input = InputSpec::Uniform {
+            rows: 64,
+            cols: 64,
+            nnz_per_row: 2,
+            seed: 3,
+        };
+        let msg_of = |job: Job| {
+            let payload = catch_unwind(AssertUnwindSafe(|| job.run()))
+                .expect_err("unsupported combination must panic");
+            panic_message(payload)
+        };
+        let msg = msg_of(Job::new("PR", input, EngineVariant::BlockedSve));
+        assert!(msg.contains("blocked-sve"), "{msg}");
+        let msg = msg_of(Job::new("PR", input, EngineVariant::SamStream));
+        assert!(msg.contains("sam-stream"), "{msg}");
+        let msg = msg_of(Job::expression(
+            "Z(i,j) = A(i,j:dcsr) + B(i,j:dcsr)",
+            input,
+            EngineVariant::BlockedSve,
+        ));
+        assert!(msg.contains("blocked-sve"), "{msg}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use tmu_trace::{TraceConfig, Tracer};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace [spmv|spmspm|spkadd|pr|tc] [rmat|m1..m6] \
-         [tmu|single-lane|baseline|scalar|imp]"
+         [tmu|single-lane|baseline|scalar|imp|blocked-sve|sam-stream]"
     );
     ExitCode::from(2)
 }
@@ -61,15 +61,12 @@ fn input(arg: &str) -> Option<InputSpec> {
     })
 }
 
-fn engine(arg: &str) -> Option<EngineVariant> {
-    Some(match arg.to_ascii_lowercase().as_str() {
-        "tmu" => EngineVariant::Tmu,
-        "single-lane" | "single" => EngineVariant::SingleLane,
-        "baseline" | "sve" => EngineVariant::BaselineSve,
-        "scalar" => EngineVariant::BaselineScalar,
-        "imp" => EngineVariant::Imp,
-        _ => return None,
-    })
+/// Parses the engine argument through [`EngineVariant::parse`], so every
+/// engine the runner knows — including `blocked-sve` and `sam-stream` —
+/// is traceable, and a typo gets a typed error naming the valid engines
+/// instead of the generic usage line.
+fn engine(arg: &str) -> Result<EngineVariant, crate::runner::UnknownEngine> {
+    EngineVariant::parse(&arg.to_ascii_lowercase())
 }
 
 /// Entry point shared by the `trace` binaries. `args` are the CLI
@@ -84,8 +81,12 @@ pub fn main(args: &[String]) -> ExitCode {
     let Some(input) = input(&arg(1, "rmat")) else {
         return usage();
     };
-    let Some(engine) = engine(&arg(2, "tmu")) else {
-        return usage();
+    let engine = match engine(&arg(2, "tmu")) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            return usage();
+        }
     };
     let job = Job::new(kernel, input, engine);
     println!(

@@ -100,6 +100,12 @@ impl ExprWorkload {
         &self.oracle
     }
 
+    /// The bound tensors (alternative backends recompile the expression
+    /// against the exact storage the oracle was evaluated on).
+    pub fn bindings(&self) -> &Bindings {
+        &self.binds
+    }
+
     /// Shared memory image (for standalone engine experiments).
     pub fn image_handle(&self) -> Arc<MemImage> {
         Arc::clone(&self.image)

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bcsr;
 mod coo;
 mod csf;
 mod csr;
@@ -48,6 +49,7 @@ pub mod io;
 pub mod level;
 pub mod merge;
 
+pub use bcsr::BcsrMatrix;
 pub use coo::{CooMatrix, CooTensor};
 pub use csf::{CsfNodeIter, CsfTensor};
 pub use csr::{CsrMatrix, CsrRowIter};

@@ -1,0 +1,69 @@
+//! Property tests for the blocked/BCSR layout: CSR → blocked → dense
+//! equals CSR → dense, and CSR → blocked → CSR is the identity — across
+//! block shapes that tile the matrix evenly and ones that leave ragged
+//! remainder tiles on the right and bottom edges.
+
+use proptest::prelude::*;
+
+use tmu_tensor::{BcsrMatrix, CooMatrix, CsrMatrix};
+
+const ROWS: usize = 37;
+const COLS: usize = 41;
+
+fn triplets() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::btree_map((0u32..ROWS as u32, 0u32..COLS as u32), 0.25f64..4.0, 0..200)
+        .prop_map(|m| m.into_iter().map(|((r, c), v)| (r, c, v)).collect())
+}
+
+// 1×1 (degenerate), a power-of-two tile that leaves remainders on the
+// 37×41 shape, odd tile sides, a tall-skinny and a wide-flat tile, and
+// the register-tile shape the blocked backend uses.
+const SHAPES: [(usize, usize); 7] = [(1, 1), (2, 2), (4, 4), (3, 5), (7, 2), (1, 8), (4, 8)];
+
+fn block_shape() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..SHAPES.len()).prop_map(|i| SHAPES[i])
+}
+
+fn dense_of_csr(m: &CsrMatrix) -> Vec<f64> {
+    let mut out = vec![0.0; m.rows() * m.cols()];
+    for i in 0..m.rows() {
+        for (c, v) in m.row(i) {
+            out[i * m.cols() + c as usize] = v;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn blocked_dense_equals_csr_dense(ts in triplets(), (br, bc) in block_shape()) {
+        let coo = CooMatrix::from_triplets(ROWS, COLS, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        let blocked = BcsrMatrix::from_csr(&csr, br, bc);
+        prop_assert_eq!(blocked.to_dense(), dense_of_csr(&csr));
+    }
+
+    #[test]
+    fn blocked_roundtrips_csr_exactly(ts in triplets(), (br, bc) in block_shape()) {
+        let coo = CooMatrix::from_triplets(ROWS, COLS, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        let blocked = BcsrMatrix::from_csr(&csr, br, bc);
+        prop_assert_eq!(blocked.nnz(), csr.nnz());
+        // Exact structural round-trip: pointers, indexes, and values —
+        // stored zeros included — come back verbatim.
+        prop_assert_eq!(blocked.to_csr(), csr);
+    }
+
+    #[test]
+    fn occupancy_is_a_valid_fraction(ts in triplets(), (br, bc) in block_shape()) {
+        let coo = CooMatrix::from_triplets(ROWS, COLS, ts).expect("in range");
+        let csr = CsrMatrix::from_coo(&coo);
+        let blocked = BcsrMatrix::from_csr(&csr, br, bc);
+        let occ = blocked.occupancy();
+        prop_assert!(occ > 0.0 && occ <= 1.0);
+        // Every stored entry lives in exactly one materialized block.
+        prop_assert!(blocked.num_blocks() * br * bc >= blocked.nnz());
+    }
+}

@@ -63,6 +63,16 @@ pub enum EventKind {
     /// A tenant's admission queue rejected an arrival — the bounded queue
     /// was full (payload: tenant id).
     TenantReject,
+    /// The blocked backend materialized one BCSR tile from the CSR fibers
+    /// (payload: `block_row << 32 | block_col`).
+    TileExtract,
+    /// A SAM-style stream node produced a token
+    /// (payload: `node << 32 | tokens produced by that node so far`).
+    StreamToken,
+    /// A SAM-style merger spent a cycle stalled — an input ran dry while
+    /// upstream was still live, or the output queue was full
+    /// (payload: node id).
+    MergerStall,
 
     // -- counter samples (serving layer) --
     /// Jobs waiting in one tenant's admission queue (sampled by the
@@ -136,6 +146,9 @@ impl EventKind {
             EventKind::TenantPreempt => "tenant_preempt",
             EventKind::TenantComplete => "tenant_complete",
             EventKind::TenantReject => "tenant_reject",
+            EventKind::TileExtract => "tile_extract",
+            EventKind::StreamToken => "stream_token",
+            EventKind::MergerStall => "merger_stall",
             EventKind::QueueDepth => "queue_depth",
             EventKind::TuFetch => "tu_fetch",
             EventKind::TgStep => "tg_step",

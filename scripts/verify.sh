@@ -33,6 +33,15 @@ cargo test -q --release --test fault_resilience
 # panic is caught and typed.
 TMU_FAULT_RATE=50 cargo run --release -q -p tmu-bench --bin faults
 
+echo "== alternative backends: bit-identity suite + four-way matrix smoke =="
+# Both engines (blocked-sve, sam-stream) must stay bit-identical to the
+# kernel oracles and the tmu-front interpreter.
+cargo test -q --release -p tmu-backends
+# A reduced-scale four-way comparison (tmu/imp/blocked-sve/sam-stream)
+# over SpMV plus the compiled expressions; exits nonzero if any cell
+# panics, and writes schema-v3 rows to results/bench.json.
+TMU_SCALE=0.05 cargo run --release -q -p tmu-bench --bin matrix -- spmv expr
+
 echo "== serving layer: differential grid + two-tenant smoke (both policies) =="
 cargo test -q --release -p tmu-serve
 # A small contended trace under each policy; the serving DES is
