@@ -336,7 +336,11 @@ fn emit_compute<M: Machine + ?Sized>(m: &mut M, ctx: &Ctx, grs: (usize, usize), 
 fn trace_tiles(b: &BcsrMatrix) {
     tmu_trace::with(|tr| {
         let c = tr.component("backends.blocked");
-        let mut seq = 0u64;
+        // The tile extraction *is* a csr→bcsr format conversion; announce
+        // it with the formats-crate kind indexes (csr = 0, bcsr = 2) so
+        // trace consumers see one conversion event per re-marshaling.
+        tr.event(c, 0, tmu_trace::EventKind::FormatConvert, 2);
+        let mut seq = 1u64;
         let (grid_rows, _) = b.grid();
         for gr in 0..grid_rows {
             let (b0, b1) = b.block_row_range(gr);

@@ -14,11 +14,11 @@
 //! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
 //! `null`.
 //!
-//! Schema (`schema_version` 3):
+//! Schema (`schema_version` 4):
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "figures": {
 //!     "<figure>": [ { <BenchRow fields> }, ... ],
 //!     ...
@@ -35,6 +35,12 @@
 //! `stream_tokens` (tokens crossing the stream fabric, `sam-stream`
 //! rows). Each is emitted only on rows of its own engine, so every
 //! pre-existing row stays byte-identical to v2.
+//!
+//! Version 4 adds the format-ablation fields: `format` (the physical
+//! layout the matrix was marshaled into) and `conv_cycles` (modeled
+//! cycles of the csr→format conversion, 0 for the identity). Both are
+//! emitted only on rows tagged with a format by the `formats` binary, so
+//! kernel rows from every other figure stay byte-identical to v3.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -159,6 +165,14 @@ pub struct BenchRow {
     /// Tokens that crossed the stream fabric (schema v3; emitted only on
     /// `sam-stream` rows).
     pub stream_tokens: Option<u64>,
+    /// Physical layout the matrix was marshaled into before the run
+    /// (schema v4; emitted only on format-ablation rows, with
+    /// [`BenchRow::conv_cycles`]).
+    pub format: Option<String>,
+    /// Modeled cycles of the csr→format conversion charged to the row
+    /// (schema v4; `0` for the identity conversion; emitted with
+    /// [`BenchRow::format`]).
+    pub conv_cycles: Option<u64>,
 }
 
 fn push_str(out: &mut String, s: &str) {
@@ -268,6 +282,13 @@ impl BenchRow {
         if let Some(tok) = self.stream_tokens {
             u64_field!("stream_tokens", tok);
         }
+        // Format-ablation fields (schema v4): only rows the `formats`
+        // binary tags with a layout carry them; every other figure's rows
+        // stay byte-identical to v3.
+        if let Some(fmt) = &self.format {
+            str_field!("format", fmt);
+            u64_field!("conv_cycles", self.conv_cycles.unwrap_or(0));
+        }
         // Resilience telemetry is opt-in: the keys appear only on rows
         // that failed, fell back, or ran with injected faults, keeping
         // fault-free bench.json output byte-identical to older schemas.
@@ -313,7 +334,7 @@ pub fn record(figure: &str, rows: Vec<BenchRow>) {
 
 fn render(figures: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
-    out.push_str("{\n\"schema_version\":3,\n\"figures\":{\n");
+    out.push_str("{\n\"schema_version\":4,\n\"figures\":{\n");
     let mut first_fig = true;
     for (figure, body) in figures {
         if !first_fig {
@@ -619,7 +640,7 @@ mod tests {
         );
         record("zz_test_fig_b", Vec::new());
         let s = render_bench_json();
-        assert!(s.contains("\"schema_version\":3"));
+        assert!(s.contains("\"schema_version\":4"));
         assert!(s.contains("\"zz_test_fig_a\":["));
         assert!(s.contains("\"zz_test_fig_b\":["));
         // Re-recording replaces, not appends.
@@ -763,6 +784,54 @@ mod tests {
         plain.write(&mut p);
         for key in ["tile_occupancy", "stream_tokens"] {
             assert!(!p.contains(key), "v2-shaped row must omit {key}: {p}");
+        }
+        validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
+    }
+
+    #[test]
+    fn schema_v4_format_fields_pin_and_roundtrip() {
+        // A format-ablation row carries format and conv_cycles, right
+        // after the v3 backend observables…
+        let tagged = BenchRow {
+            figure: "formats".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            format: Some("banded".into()),
+            conv_cycles: Some(777),
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        tagged.write(&mut s);
+        assert!(
+            s.contains("\"outq_read_to_write\":0,\"format\":\"banded\",\"conv_cycles\":777}"),
+            "v4 format fields pinned after the outQ block: {s}"
+        );
+        validate(&format!("[{s}]")).expect("format row must be well-formed JSON");
+
+        // …a format row without a measured conversion still carries both
+        // keys (the identity conversion costs 0)…
+        let identity = BenchRow {
+            format: Some("csr".into()),
+            ..BenchRow::default()
+        };
+        let mut i = String::new();
+        identity.write(&mut i);
+        assert!(i.contains("\"format\":\"csr\",\"conv_cycles\":0}"), "{i}");
+
+        // …while an untagged row emits neither key — byte-identical to
+        // the v3 layout.
+        let plain = BenchRow {
+            figure: "fig10".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            ..BenchRow::default()
+        };
+        let mut p = String::new();
+        plain.write(&mut p);
+        for key in ["\"format\"", "conv_cycles"] {
+            assert!(!p.contains(key), "v3-shaped row must omit {key}: {p}");
         }
         validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
     }

@@ -121,29 +121,10 @@ pub enum EngineVariant {
     SamStream,
 }
 
-/// A string that names no [`EngineVariant`]; lists the accepted names.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnknownEngine {
-    /// The rejected argument, verbatim.
-    pub arg: String,
-}
-
-impl std::fmt::Display for UnknownEngine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown engine {:?}; valid engines: {} (aliases: single, baseline, sve, scalar, blocked, sam)",
-            self.arg,
-            EngineVariant::ALL
-                .iter()
-                .map(|e| e.label())
-                .collect::<Vec<_>>()
-                .join(", ")
-        )
-    }
-}
-
-impl std::error::Error for UnknownEngine {}
+/// A string that names no [`EngineVariant`]. The same typed error the
+/// formats crate returns for unknown format names, so every unknown-name
+/// failure across the CLI surface reads the same way.
+pub type UnknownEngine = tmu_formats::UnknownName;
 
 impl EngineVariant {
     /// Every variant, in the order the four-way matrix prints them last.
@@ -171,9 +152,10 @@ impl EngineVariant {
     }
 
     /// Parses a CLI engine name (the canonical [`Self::label`] plus a few
-    /// short aliases). The error lists every valid name.
+    /// short aliases), case-insensitively. The error lists every valid
+    /// name and alias.
     pub fn parse(arg: &str) -> Result<Self, UnknownEngine> {
-        Ok(match arg {
+        Ok(match arg.to_ascii_lowercase().as_str() {
             "tmu" => EngineVariant::Tmu,
             "single-lane" | "single" => EngineVariant::SingleLane,
             "baseline" | "baseline-sve" | "sve" => EngineVariant::BaselineSve,
@@ -181,10 +163,13 @@ impl EngineVariant {
             "imp" => EngineVariant::Imp,
             "blocked-sve" | "blocked" => EngineVariant::BlockedSve,
             "sam-stream" | "sam" => EngineVariant::SamStream,
-            other => {
-                return Err(UnknownEngine {
-                    arg: other.to_owned(),
-                })
+            _ => {
+                return Err(UnknownEngine::new(
+                    "engine",
+                    arg,
+                    EngineVariant::ALL.iter().map(|e| e.label()),
+                )
+                .with_aliases(["single", "baseline", "sve", "scalar", "blocked", "sam"]))
             }
         })
     }
@@ -1165,6 +1150,8 @@ mod tests {
         // names both the bad argument and the valid engines.
         for e in EngineVariant::ALL {
             assert_eq!(EngineVariant::parse(e.label()), Ok(e));
+            // Case-insensitive: the uppercase spelling names the same engine.
+            assert_eq!(EngineVariant::parse(&e.label().to_uppercase()), Ok(e));
         }
         assert_eq!(
             EngineVariant::parse("blocked"),

@@ -1,0 +1,241 @@
+//! The banded level layout: narrow per-row coordinate deltas.
+//!
+//! A banded matrix stores each row's column coordinates as offsets from
+//! the row's *band origin* `r - bw_lo`, where `bw_lo` is the lower
+//! bandwidth (the largest `r - c` over all stored entries). Every stored
+//! delta then satisfies `0 ≤ delta ≤ bw_lo + bw_hi`, so the coordinate
+//! stream narrows to the band width instead of the full column range and
+//! decodes with one add per entry — no gather-feeding index load chain.
+//!
+//! The layout is *lossless* with respect to CSR: only stored entries are
+//! kept (no band padding), the per-row pointer pair is exactly the CSR
+//! row pointer pair, and deltas increase with the column, so traversal
+//! order is coordinate order and [`BandedMatrix::to_csr`] is an exact
+//! inverse of [`BandedMatrix::from_csr`] — values bit-identical, arrays
+//! equal.
+
+use tmu_tensor::{CooMatrix, CsrMatrix, FormatError};
+
+/// A matrix stored as dense rows over a banded level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedMatrix {
+    rows: usize,
+    cols: usize,
+    bw_lo: u32,
+    bw_hi: u32,
+    ptrs: Vec<u32>,
+    deltas: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl BandedMatrix {
+    /// Encodes a CSR matrix. The band parameters are measured from the
+    /// stored entries, so any matrix encodes (a dense one simply gets a
+    /// full-width band).
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let mut bw_lo = 0i64;
+        let mut bw_hi = 0i64;
+        for r in 0..m.rows() {
+            for (c, _) in m.row(r) {
+                bw_lo = bw_lo.max(r as i64 - c as i64);
+                bw_hi = bw_hi.max(c as i64 - r as i64);
+            }
+        }
+        let bw_lo = bw_lo as u32;
+        let deltas = (0..m.rows())
+            .flat_map(|r| {
+                m.row(r)
+                    .map(move |(c, _)| c + bw_lo - r as u32)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            bw_lo,
+            bw_hi: bw_hi as u32,
+            ptrs: m.row_ptrs().to_vec(),
+            deltas,
+            vals: m.vals().to_vec(),
+        }
+    }
+
+    /// Builds from coordinate triplets, summing duplicate coordinates at
+    /// build time in input order (taco semantics, shared with
+    /// [`CooMatrix::from_triplets`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] when a coordinate
+    /// exceeds the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: Vec<(u32, u32, f64)>,
+    ) -> Result<Self, FormatError> {
+        let coo = CooMatrix::from_triplets(rows, cols, triplets)?;
+        Ok(Self::from_csr(&CsrMatrix::from_coo(&coo)))
+    }
+
+    /// Assembles a banded matrix from already-encoded arrays (used by the
+    /// TMU conversion program's callback handler, which rebuilds exactly
+    /// these arrays from the marshaled stream).
+    pub(crate) fn from_raw(
+        rows: usize,
+        cols: usize,
+        bw_lo: u32,
+        bw_hi: u32,
+        ptrs: Vec<u32>,
+        deltas: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        Self {
+            rows,
+            cols,
+            bw_lo,
+            bw_hi,
+            ptrs,
+            deltas,
+            vals,
+        }
+    }
+
+    /// Exact decode back to CSR (the generated banded→csr conversion's
+    /// software reference): arrays equal to the encoding source.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut idxs = Vec::with_capacity(self.deltas.len());
+        for r in 0..self.rows {
+            let (b, e) = self.row_range(r);
+            for p in b..e {
+                idxs.push(self.coord(r, p));
+            }
+        }
+        CsrMatrix::from_parts(
+            self.rows,
+            self.cols,
+            self.ptrs.clone(),
+            idxs,
+            self.vals.clone(),
+        )
+        .expect("banded decode preserves CSR invariants")
+    }
+
+    /// Decoded coordinate of position `p` in row `r`.
+    pub fn coord(&self, r: usize, p: usize) -> u32 {
+        r as u32 + self.deltas[p] - self.bw_lo
+    }
+
+    /// `(start, end)` positions of row `r`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        (self.ptrs[r] as usize, self.ptrs[r + 1] as usize)
+    }
+
+    /// Iterates row `r`'s `(col, val)` entries in coordinate order.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let (b, e) = self.row_range(r);
+        (b..e).map(move |p| (self.coord(r, p), self.vals[p]))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Lower bandwidth: largest `row - col` over stored entries.
+    pub fn bw_lo(&self) -> u32 {
+        self.bw_lo
+    }
+
+    /// Upper bandwidth: largest `col - row` over stored entries.
+    pub fn bw_hi(&self) -> u32 {
+        self.bw_hi
+    }
+
+    /// Total band width in columns (`0` for an empty matrix).
+    pub fn bandwidth(&self) -> u32 {
+        if self.vals.is_empty() {
+            0
+        } else {
+            self.bw_lo + self.bw_hi + 1
+        }
+    }
+
+    /// Row pointer array (`rows + 1`).
+    pub fn ptrs(&self) -> &[u32] {
+        &self.ptrs
+    }
+
+    /// Delta array (one narrow word per stored entry).
+    pub fn deltas(&self) -> &[u32] {
+        &self.deltas
+    }
+
+    /// Value array.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Index words used by the layout (pointer pair per row + one delta
+    /// word per entry — same count as CSR, narrower entries).
+    pub fn index_words(&self) -> usize {
+        self.ptrs.len() + self.deltas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_tensor::gen;
+
+    #[test]
+    fn roundtrips_a_banded_generator_matrix() {
+        let a = gen::banded(200, 16, 7, 11);
+        let b = BandedMatrix::from_csr(&a);
+        assert!(b.bandwidth() <= 33, "bandwidth {}", b.bandwidth());
+        let back = b.to_csr();
+        assert_eq!(back.row_ptrs(), a.row_ptrs());
+        assert_eq!(back.col_idxs(), a.col_idxs());
+        assert_eq!(back.vals(), a.vals());
+    }
+
+    #[test]
+    fn encodes_unbanded_matrices_with_a_wide_band() {
+        let a = gen::uniform(64, 96, 4, 3);
+        let b = BandedMatrix::from_csr(&a);
+        assert_eq!(b.to_csr().col_idxs(), a.col_idxs());
+        assert!(b.bandwidth() as usize <= 64 + 96);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_bandwidth() {
+        let a = CsrMatrix::from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).expect("valid");
+        let b = BandedMatrix::from_csr(&a);
+        assert_eq!(b.bandwidth(), 0);
+        assert_eq!(b.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn builder_sums_duplicates_in_input_order() {
+        // Same pinning contract as the COO builders (satellite fix):
+        // (1e16 + 1) + 1 != (1 + 1) + 1e16 bit-wise.
+        let want = (1e16f64 + 1.0) + 1.0;
+        let b = BandedMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 1, 1e16), (1, 0, 3.0), (0, 1, 1.0), (0, 1, 1.0)],
+        )
+        .expect("valid");
+        assert_eq!(b.nnz(), 2);
+        assert_eq!(b.row(0).next().expect("stored").1.to_bits(), want.to_bits());
+    }
+}

@@ -1,0 +1,355 @@
+//! The hashed level layout: per-row open-addressing coordinate tables.
+//!
+//! Each row owns a power-of-two slot table at load factor ≤ 0.5.
+//! Coordinates hash with the Fibonacci multiplier `0x9E37_79B9` and probe
+//! linearly; an empty slot is the sentinel [`EMPTY`]. Point lookups are
+//! O(1) — the level trades the CSR binary-search/scan for slot probes —
+//! but position order is *hash* order, so an ordered (canonical) view
+//! must sort each row's occupied slots. That sorted materialization is
+//! exactly the generated hashed→csr conversion, and it is lossless: the
+//! table stores each coordinate once with its value bits untouched.
+//!
+//! A hash table cannot represent a duplicate coordinate at all, so the
+//! builder sums duplicates at insert time (input order, matching the COO
+//! builders' taco semantics).
+
+use tmu_tensor::{CsrMatrix, FormatError};
+
+/// Slot sentinel: no coordinate stored.
+pub const EMPTY: u32 = u32::MAX;
+
+/// Fibonacci hashing multiplier (2^32 / φ).
+const HASH_MUL: u32 = 0x9E37_79B9;
+
+/// A matrix stored as dense rows over a hashed level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashedMatrix {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// Slot offsets per row (`rows + 1`); row `r` owns slots
+    /// `row_base[r]..row_base[r+1]`, a power-of-two span (or zero).
+    row_base: Vec<u32>,
+    /// Stored coordinate per slot ([`EMPTY`] when unoccupied).
+    slots: Vec<u32>,
+    /// Value per slot (zero when unoccupied).
+    svals: Vec<f64>,
+}
+
+/// Table capacity for a row of `n` entries: load factor ≤ 0.5, minimum 4.
+fn capacity_for(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (2 * n).next_power_of_two().max(4)
+    }
+}
+
+impl HashedMatrix {
+    /// Home slot of coordinate `c` in a table of `cap` slots (`cap` a
+    /// power of two).
+    fn home(c: u32, cap: usize) -> usize {
+        let log = cap.trailing_zeros();
+        (c.wrapping_mul(HASH_MUL) >> (32 - log)) as usize
+    }
+
+    /// Encodes a CSR matrix (no duplicates by construction).
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let mut row_base = Vec::with_capacity(m.rows() + 1);
+        row_base.push(0u32);
+        let mut total = 0usize;
+        for r in 0..m.rows() {
+            let (b, e) = m.row_range(r);
+            total += capacity_for(e - b);
+            row_base.push(total as u32);
+        }
+        let mut out = Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            nnz: 0,
+            row_base,
+            slots: vec![EMPTY; total],
+            svals: vec![0.0; total],
+        };
+        for r in 0..m.rows() {
+            for (c, v) in m.row(r) {
+                out.insert(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Builds from coordinate triplets, summing duplicate coordinates at
+    /// insert time in input order (a hash slot cannot hold a coordinate
+    /// twice, so the duplicate fix is structural here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] when a coordinate
+    /// exceeds the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: Vec<(u32, u32, f64)>,
+    ) -> Result<Self, FormatError> {
+        for &(r, c, _) in &triplets {
+            if r as usize >= rows {
+                return Err(FormatError::IndexOutOfBounds {
+                    dim: 0,
+                    index: u64::from(r),
+                    size: rows as u64,
+                });
+            }
+            if c as usize >= cols {
+                return Err(FormatError::IndexOutOfBounds {
+                    dim: 1,
+                    index: u64::from(c),
+                    size: cols as u64,
+                });
+            }
+        }
+        // Size each row's table for its *distinct* coordinate count.
+        let mut distinct = vec![std::collections::BTreeSet::new(); rows];
+        for &(r, c, _) in &triplets {
+            distinct[r as usize].insert(c);
+        }
+        let mut row_base = Vec::with_capacity(rows + 1);
+        row_base.push(0u32);
+        let mut total = 0usize;
+        for d in &distinct {
+            total += capacity_for(d.len());
+            row_base.push(total as u32);
+        }
+        let mut out = Self {
+            rows,
+            cols,
+            nnz: 0,
+            row_base,
+            slots: vec![EMPTY; total],
+            svals: vec![0.0; total],
+        };
+        for (r, c, v) in triplets {
+            out.insert(r as usize, c, v);
+        }
+        Ok(out)
+    }
+
+    /// Inserts (or accumulates into) coordinate `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row `r`'s table is full — the builders size tables up
+    /// front, so this indicates misuse.
+    fn insert(&mut self, r: usize, c: u32, v: f64) {
+        debug_assert!(c != EMPTY, "coordinate {c} collides with the sentinel");
+        let (base, cap) = self.row_span(r);
+        assert!(cap > 0, "row {r} has no table capacity");
+        let mut slot = Self::home(c, cap);
+        loop {
+            let s = base + slot;
+            if self.slots[s] == EMPTY {
+                self.slots[s] = c;
+                self.svals[s] = v;
+                self.nnz += 1;
+                return;
+            }
+            if self.slots[s] == c {
+                // Duplicate coordinate: sum in arrival order.
+                self.svals[s] += v;
+                return;
+            }
+            slot = (slot + 1) & (cap - 1);
+            assert!(slot != Self::home(c, cap), "row {r} table full");
+        }
+    }
+
+    /// `(base slot, capacity)` of row `r`.
+    fn row_span(&self, r: usize) -> (usize, usize) {
+        (
+            self.row_base[r] as usize,
+            (self.row_base[r + 1] - self.row_base[r]) as usize,
+        )
+    }
+
+    /// Global slot index holding coordinate `(r, c)`, if stored. This is
+    /// the scatter address the csr→hashed conversion writes to.
+    pub fn slot_index(&self, r: usize, c: u32) -> Option<usize> {
+        let (base, cap) = self.row_span(r);
+        if cap == 0 {
+            return None;
+        }
+        let mut slot = Self::home(c, cap);
+        loop {
+            let s = base + slot;
+            if self.slots[s] == c {
+                return Some(s);
+            }
+            if self.slots[s] == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & (cap - 1);
+            if slot == Self::home(c, cap) {
+                return None;
+            }
+        }
+    }
+
+    /// O(1) point lookup.
+    pub fn get(&self, r: usize, c: u32) -> Option<f64> {
+        let (base, cap) = self.row_span(r);
+        if cap == 0 {
+            return None;
+        }
+        let mut slot = Self::home(c, cap);
+        loop {
+            let s = base + slot;
+            if self.slots[s] == c {
+                return Some(self.svals[s]);
+            }
+            if self.slots[s] == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & (cap - 1);
+            if slot == Self::home(c, cap) {
+                return None;
+            }
+        }
+    }
+
+    /// Row `r`'s entries in *coordinate* order — the sorted canonical
+    /// materialization of the unordered level.
+    pub fn row_sorted(&self, r: usize) -> Vec<(u32, f64)> {
+        let (base, cap) = self.row_span(r);
+        let mut out: Vec<(u32, f64)> = (base..base + cap)
+            .filter(|&s| self.slots[s] != EMPTY)
+            .map(|s| (self.slots[s], self.svals[s]))
+            .collect();
+        out.sort_unstable_by_key(|&(c, _)| c);
+        out
+    }
+
+    /// Exact decode back to CSR (the generated hashed→csr conversion's
+    /// software reference).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut ptrs = Vec::with_capacity(self.rows + 1);
+        ptrs.push(0u32);
+        let mut idxs = Vec::with_capacity(self.nnz);
+        let mut vals = Vec::with_capacity(self.nnz);
+        for r in 0..self.rows {
+            for (c, v) in self.row_sorted(r) {
+                idxs.push(c);
+                vals.push(v);
+            }
+            ptrs.push(idxs.len() as u32);
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, ptrs, idxs, vals)
+            .expect("hashed decode preserves CSR invariants")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (distinct) coordinates.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Slot-offset array (`rows + 1`).
+    pub fn row_base(&self) -> &[u32] {
+        &self.row_base
+    }
+
+    /// Slot coordinate array ([`EMPTY`] marks unoccupied slots).
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Slot value array.
+    pub fn svals(&self) -> &[f64] {
+        &self.svals
+    }
+
+    /// Occupied fraction of the allocated slots (`0.0` when empty).
+    pub fn load_factor(&self) -> f64 {
+        if self.slots.is_empty() {
+            0.0
+        } else {
+            self.nnz as f64 / self.slots.len() as f64
+        }
+    }
+
+    /// Index words used by the layout (slot offsets + one coordinate word
+    /// per slot, occupied or not).
+    pub fn index_words(&self) -> usize {
+        self.row_base.len() + self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_tensor::gen;
+
+    #[test]
+    fn roundtrips_exactly_and_probes_in_o1() {
+        let a = gen::uniform(97, 131, 5, 23);
+        let h = HashedMatrix::from_csr(&a);
+        assert_eq!(h.nnz(), a.nnz());
+        assert!(h.load_factor() > 0.0 && h.load_factor() <= 0.5);
+        let back = h.to_csr();
+        assert_eq!(back.row_ptrs(), a.row_ptrs());
+        assert_eq!(back.col_idxs(), a.col_idxs());
+        assert_eq!(back.vals(), a.vals());
+        // Point lookups agree with the CSR fibers.
+        for r in 0..a.rows() {
+            for (c, v) in a.row(r) {
+                assert_eq!(h.get(r, c), Some(v));
+            }
+            assert_eq!(
+                h.get(r, 130),
+                a.row(r).find(|&(c, _)| c == 130).map(|e| e.1)
+            );
+        }
+    }
+
+    #[test]
+    fn builder_sums_duplicates_in_input_order() {
+        let want = (1e16f64 + 1.0) + 1.0;
+        let h = HashedMatrix::from_triplets(
+            2,
+            4,
+            vec![(0, 2, 1e16), (1, 3, 9.0), (0, 2, 1.0), (0, 2, 1.0)],
+        )
+        .expect("valid");
+        assert_eq!(h.nnz(), 2);
+        assert_eq!(h.get(0, 2).expect("stored").to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn empty_rows_cost_no_slots() {
+        let a = gen::road(64, 2, 5);
+        let h = HashedMatrix::from_csr(&a);
+        let empty_rows = (0..a.rows()).filter(|&r| {
+            let (b, e) = a.row_range(r);
+            b == e
+        });
+        for r in empty_rows {
+            let (base, cap) = (h.row_base()[r], h.row_base()[r + 1] - h.row_base()[r]);
+            let _ = base;
+            assert_eq!(cap, 0);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = HashedMatrix::from_triplets(2, 2, vec![(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { dim: 1, .. }));
+    }
+}

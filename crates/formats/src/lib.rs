@@ -1,0 +1,333 @@
+//! Level-format abstraction, generated conversions, and a format
+//! autotuner for the TMU reproduction.
+//!
+//! ROADMAP item 3 (format generality) as a subsystem, in three layers:
+//!
+//! 1. **Levels** ([`level`]): per-dimension level implementations —
+//!    dense, compressed, and the physical layouts this crate adds
+//!    ([`BandedMatrix`], [`HashedMatrix`], and the PR 6 BCSR layout
+//!    refactored onto the [`level::Level`] trait) — each exposing the
+//!    position/coordinate iteration the front-end lowers against.
+//! 2. **Conversions** ([`convert`]): csr↔{bcsr, banded, hashed} routines
+//!    emitted three ways — as software references, as core-side op
+//!    streams replayed through the simulated memory hierarchy (the
+//!    `conv_cycles` the autotuner charges), and, for the decode
+//!    direction, as real TMU programs whose callbacks rebuild the
+//!    canonical arrays (so conversions are marshaled, faulted, and
+//!    quiesced like any other kernel).
+//! 3. **Autotuning** ([`stats`], [`autotune`]): fiber statistics and a
+//!    small cost model that picks a layout per input, surfaced by the
+//!    `formats` bench binary as a best-format-vs-CSR-always ablation.
+//!
+//! The seam into `tmu-front` is deliberately canonical: the lowerer and
+//! interpreter consume only dense/compressed fiber streams, so a physical
+//! format participates by *decoding* to the canonical view (its generated
+//! X→csr conversion) and charging the conversion cycles — exactly how the
+//! paper's TMU marshals any level stack through the same traversal
+//! primitives.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod banded;
+pub mod convert;
+pub mod hashed;
+pub mod level;
+pub mod spmv;
+pub mod stats;
+
+pub use autotune::{pick, Choice};
+pub use banded::BandedMatrix;
+pub use convert::{conversion_cycles, CsrToBandedTmu, HashedToCsrTmu};
+pub use hashed::HashedMatrix;
+pub use stats::FiberStats;
+
+use tmu_tensor::level::FormatDescriptor;
+use tmu_tensor::{BcsrMatrix, CsrMatrix, DcsrMatrix};
+
+/// Block shape shared with the `blocked-sve` backend: one 512-bit SVE
+/// vector of f64 per tile row.
+pub const BLOCK_ROWS: usize = 4;
+/// Columns per tile (see [`BLOCK_ROWS`]).
+pub const BLOCK_COLS: usize = 8;
+
+/// A string that names nothing in some closed name set; lists the
+/// accepted names (and aliases, when the set has them). Shared by the
+/// format parser here and the bench CLI's engine parser so every
+/// unknown-name failure reads the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownName {
+    /// What kind of name was expected (`"format"`, `"engine"`, …).
+    pub what: &'static str,
+    /// The rejected argument, verbatim.
+    pub arg: String,
+    /// Canonical accepted names.
+    pub valid: Vec<String>,
+    /// Accepted shorthand aliases (may be empty).
+    pub aliases: Vec<String>,
+}
+
+impl UnknownName {
+    /// Builds the error for `arg` against a closed set of `valid` names.
+    pub fn new(
+        what: &'static str,
+        arg: &str,
+        valid: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self {
+            what,
+            arg: arg.to_owned(),
+            valid: valid.into_iter().map(Into::into).collect(),
+            aliases: Vec::new(),
+        }
+    }
+
+    /// Adds shorthand aliases to the error message.
+    pub fn with_aliases(mut self, aliases: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.aliases = aliases.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+impl std::fmt::Display for UnknownName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?}; valid {}s: {}",
+            self.what,
+            self.arg,
+            self.what,
+            self.valid.join(", ")
+        )?;
+        if !self.aliases.is_empty() {
+            write!(f, " (aliases: {})", self.aliases.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownName {}
+
+/// The whole-matrix formats the subsystem can materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Dense rows over a compressed level (the paper's baseline).
+    Csr,
+    /// Compressed rows over a compressed level (hypersparse).
+    Dcsr,
+    /// Dense block rows over a blocked level (4×8 tiles).
+    Bcsr,
+    /// Dense rows over a banded level (narrow coordinate deltas).
+    Banded,
+    /// Dense rows over a hashed level (O(1) point lookup, unordered).
+    Hashed,
+}
+
+impl FormatKind {
+    /// Every kind, in report column order.
+    pub const ALL: [FormatKind; 5] = [
+        FormatKind::Csr,
+        FormatKind::Dcsr,
+        FormatKind::Bcsr,
+        FormatKind::Banded,
+        FormatKind::Hashed,
+    ];
+
+    /// Canonical name (matches the expression annotation).
+    pub fn label(self) -> &'static str {
+        match self {
+            FormatKind::Csr => "csr",
+            FormatKind::Dcsr => "dcsr",
+            FormatKind::Bcsr => "bcsr",
+            FormatKind::Banded => "banded",
+            FormatKind::Hashed => "hashed",
+        }
+    }
+
+    /// Parses a format name, case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownName`] listing the valid names.
+    pub fn parse(arg: &str) -> Result<Self, UnknownName> {
+        let folded = arg.to_ascii_lowercase();
+        Self::ALL
+            .into_iter()
+            .find(|k| k.label() == folded)
+            .ok_or_else(|| {
+                UnknownName::new("format", arg, Self::ALL.into_iter().map(FormatKind::label))
+            })
+    }
+
+    /// The level-stack descriptor of a `rows`-row matrix in this format.
+    pub fn descriptor(self, rows: usize) -> FormatDescriptor {
+        match self {
+            FormatKind::Csr => FormatDescriptor::csr(rows),
+            FormatKind::Dcsr => FormatDescriptor::dcsr(),
+            FormatKind::Bcsr => FormatDescriptor::bcsr(rows),
+            FormatKind::Banded => FormatDescriptor::banded(rows),
+            FormatKind::Hashed => FormatDescriptor::hashed(rows),
+        }
+    }
+}
+
+impl std::fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A matrix materialized in one of the supported physical formats.
+#[derive(Debug, Clone)]
+pub enum FormatMatrix {
+    /// CSR storage.
+    Csr(CsrMatrix),
+    /// DCSR storage.
+    Dcsr(DcsrMatrix),
+    /// BCSR storage (4×8 tiles).
+    Bcsr(BcsrMatrix),
+    /// Banded storage.
+    Banded(BandedMatrix),
+    /// Hashed storage.
+    Hashed(HashedMatrix),
+}
+
+impl FormatMatrix {
+    /// Encodes `a` into `kind` (the csr→X generated conversion's software
+    /// reference; `Csr` is the identity).
+    pub fn encode(kind: FormatKind, a: &CsrMatrix) -> Self {
+        match kind {
+            FormatKind::Csr => FormatMatrix::Csr(a.clone()),
+            FormatKind::Dcsr => FormatMatrix::Dcsr(DcsrMatrix::from_csr(a)),
+            FormatKind::Bcsr => FormatMatrix::Bcsr(BcsrMatrix::from_csr(a, BLOCK_ROWS, BLOCK_COLS)),
+            FormatKind::Banded => FormatMatrix::Banded(BandedMatrix::from_csr(a)),
+            FormatKind::Hashed => FormatMatrix::Hashed(HashedMatrix::from_csr(a)),
+        }
+    }
+
+    /// The stored format.
+    pub fn kind(&self) -> FormatKind {
+        match self {
+            FormatMatrix::Csr(_) => FormatKind::Csr,
+            FormatMatrix::Dcsr(_) => FormatKind::Dcsr,
+            FormatMatrix::Bcsr(_) => FormatKind::Bcsr,
+            FormatMatrix::Banded(_) => FormatKind::Banded,
+            FormatMatrix::Hashed(_) => FormatKind::Hashed,
+        }
+    }
+
+    /// Decodes back to canonical CSR (the X→csr generated conversion's
+    /// software reference). Exact for every format: banded and BCSR
+    /// preserve order and occupancy, hashed sorts its slots, DCSR
+    /// re-expands empty rows.
+    pub fn decode(&self) -> CsrMatrix {
+        match self {
+            FormatMatrix::Csr(m) => m.clone(),
+            FormatMatrix::Dcsr(m) => {
+                let mut ptrs = Vec::with_capacity(m.rows() + 1);
+                ptrs.push(0u32);
+                let mut stored = 0usize;
+                for r in 0..m.rows() {
+                    if stored < m.num_stored_rows() && m.row_idxs()[stored] == r as u32 {
+                        stored += 1;
+                    }
+                    ptrs.push(m.row_ptrs()[stored]);
+                }
+                CsrMatrix::from_parts(
+                    m.rows(),
+                    m.cols(),
+                    ptrs,
+                    m.col_idxs().to_vec(),
+                    m.vals().to_vec(),
+                )
+                .expect("DCSR expansion preserves CSR invariants")
+            }
+            FormatMatrix::Bcsr(m) => m.to_csr(),
+            FormatMatrix::Banded(m) => m.to_csr(),
+            FormatMatrix::Hashed(m) => m.to_csr(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            FormatMatrix::Csr(m) => m.rows(),
+            FormatMatrix::Dcsr(m) => m.rows(),
+            FormatMatrix::Bcsr(m) => m.rows(),
+            FormatMatrix::Banded(m) => m.rows(),
+            FormatMatrix::Hashed(m) => m.rows(),
+        }
+    }
+
+    /// Index words the layout occupies (the storage-cost half of the
+    /// autotuner's trade-off).
+    pub fn index_words(&self) -> usize {
+        match self {
+            FormatMatrix::Csr(m) => m.row_ptrs().len() + m.col_idxs().len(),
+            FormatMatrix::Dcsr(m) => m.index_words(),
+            FormatMatrix::Bcsr(m) => m.ptrs().len() + 3 * m.num_blocks(),
+            FormatMatrix::Banded(m) => m.index_words(),
+            FormatMatrix::Hashed(m) => m.index_words(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_tensor::gen;
+
+    #[test]
+    fn format_names_parse_case_insensitively() {
+        for k in FormatKind::ALL {
+            assert_eq!(FormatKind::parse(k.label()), Ok(k));
+            assert_eq!(FormatKind::parse(&k.label().to_uppercase()), Ok(k));
+        }
+        let err = FormatKind::parse("ellpack").unwrap_err();
+        assert_eq!(err.what, "format");
+        let msg = err.to_string();
+        assert!(msg.contains("\"ellpack\""), "{msg}");
+        for k in FormatKind::ALL {
+            assert!(msg.contains(k.label()), "{msg}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_aliases_when_present() {
+        let msg = UnknownName::new("engine", "warp", ["tmu", "imp"])
+            .with_aliases(["single"])
+            .to_string();
+        assert_eq!(
+            msg,
+            "unknown engine \"warp\"; valid engines: tmu, imp (aliases: single)"
+        );
+    }
+
+    #[test]
+    fn every_format_encodes_and_decodes_exactly() {
+        for (m, name) in [
+            (gen::uniform(67, 83, 5, 3), "uniform"),
+            (gen::banded(120, 12, 6, 9), "banded"),
+            (gen::road(96, 2, 5), "road"),
+        ] {
+            for kind in FormatKind::ALL {
+                let enc = FormatMatrix::encode(kind, &m);
+                assert_eq!(enc.kind(), kind);
+                let back = enc.decode();
+                assert_eq!(back.row_ptrs(), m.row_ptrs(), "{kind} on {name}");
+                assert_eq!(back.col_idxs(), m.col_idxs(), "{kind} on {name}");
+                assert_eq!(back.vals(), m.vals(), "{kind} on {name}");
+                assert!(enc.index_words() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn descriptors_mark_the_physical_level_data_dependent() {
+        for kind in FormatKind::ALL {
+            let d = kind.descriptor(16);
+            assert_eq!(d.order(), 2);
+            assert!(d.data_dependent_levels() >= 1, "{kind}");
+        }
+    }
+}

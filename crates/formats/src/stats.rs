@@ -1,0 +1,163 @@
+//! Fiber statistics: the measurements the format autotuner decides on.
+//!
+//! One cheap pass over a CSR input produces the per-row population
+//! moments (mean and coefficient of variation of nnz/row, empty-row
+//! fraction), the band geometry (lower/upper bandwidth and how densely
+//! the band is filled), and the register-tiling geometry (4×8 tile count
+//! and mean occupancy). Each statistic maps onto one format's sweet spot:
+//! high empty-row fraction favours DCSR, a narrow well-filled band
+//! favours the banded level, high tile occupancy favours BCSR, and a
+//! skewed row distribution (high CoV) is what the TMU's lockstep lanes
+//! tolerate but blocked tiling does not.
+
+use tmu_tensor::{BcsrMatrix, CsrMatrix};
+
+use crate::{BLOCK_COLS, BLOCK_ROWS};
+
+/// Fiber statistics of one matrix (all measured, no estimates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiberStats {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Mean stored entries per row.
+    pub row_mean: f64,
+    /// Coefficient of variation (σ/µ) of entries per row; `0` when the
+    /// matrix is empty.
+    pub row_cov: f64,
+    /// Fraction of rows with no stored entries.
+    pub empty_row_frac: f64,
+    /// Lower bandwidth: largest `row − col` over stored entries.
+    pub bw_lo: u32,
+    /// Upper bandwidth: largest `col − row` over stored entries.
+    pub bw_hi: u32,
+    /// Fraction of the in-band slots that hold a stored entry (`0` when
+    /// empty; capped at 1).
+    pub band_fill: f64,
+    /// Stored 4×8 tiles of the BCSR tiling.
+    pub tiles: usize,
+    /// Mean occupied fraction of those tiles (`0` when empty).
+    pub tile_occupancy: f64,
+}
+
+impl FiberStats {
+    /// Measures `a` in one pass (plus the BCSR tiling pass).
+    pub fn measure(a: &CsrMatrix) -> Self {
+        let rows = a.rows();
+        let nnz = a.nnz();
+        let mut bw_lo = 0i64;
+        let mut bw_hi = 0i64;
+        let mut empty = 0usize;
+        let mut sum_sq = 0.0f64;
+        for r in 0..rows {
+            let (b, e) = a.row_range(r);
+            let len = e - b;
+            if len == 0 {
+                empty += 1;
+            }
+            sum_sq += (len * len) as f64;
+            for (c, _) in a.row(r) {
+                bw_lo = bw_lo.max(r as i64 - i64::from(c));
+                bw_hi = bw_hi.max(i64::from(c) - r as i64);
+            }
+        }
+        let row_mean = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
+        let var = if rows == 0 {
+            0.0
+        } else {
+            (sum_sq / rows as f64 - row_mean * row_mean).max(0.0)
+        };
+        let row_cov = if row_mean > 0.0 {
+            var.sqrt() / row_mean
+        } else {
+            0.0
+        };
+        let bandwidth = if nnz == 0 {
+            0
+        } else {
+            (bw_lo + bw_hi + 1) as u64
+        };
+        let band_fill = if bandwidth == 0 {
+            0.0
+        } else {
+            (nnz as f64 / (rows as f64 * bandwidth as f64)).min(1.0)
+        };
+        let bcsr = BcsrMatrix::from_csr(a, BLOCK_ROWS, BLOCK_COLS);
+        Self {
+            rows,
+            cols: a.cols(),
+            nnz,
+            row_mean,
+            row_cov,
+            empty_row_frac: if rows == 0 {
+                0.0
+            } else {
+                empty as f64 / rows as f64
+            },
+            bw_lo: bw_lo as u32,
+            bw_hi: bw_hi as u32,
+            band_fill,
+            tiles: bcsr.num_blocks(),
+            tile_occupancy: bcsr.occupancy(),
+        }
+    }
+
+    /// Total band width in columns (`0` for an empty matrix).
+    pub fn bandwidth(&self) -> u64 {
+        if self.nnz == 0 {
+            0
+        } else {
+            u64::from(self.bw_lo) + u64::from(self.bw_hi) + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmu_tensor::gen;
+
+    #[test]
+    fn banded_input_measures_a_narrow_full_band() {
+        let s = FiberStats::measure(&gen::banded(256, 16, 7, 5));
+        assert!(s.bandwidth() <= 33, "bandwidth {}", s.bandwidth());
+        assert!(s.band_fill > 0.15, "band fill {}", s.band_fill);
+        assert!(s.empty_row_frac < 0.01);
+    }
+
+    #[test]
+    fn uniform_input_measures_a_wide_empty_band() {
+        let s = FiberStats::measure(&gen::uniform(128, 4096, 4, 7));
+        assert!(s.bandwidth() > 1000);
+        assert!(s.band_fill < 0.05, "band fill {}", s.band_fill);
+        assert!((s.row_mean - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn road_input_matches_the_banded_encoder_measurement() {
+        let a = gen::road(256, 2, 9);
+        let s = FiberStats::measure(&a);
+        let b = crate::BandedMatrix::from_csr(&a);
+        assert_eq!(s.bw_lo, b.bw_lo());
+        assert_eq!(s.bw_hi, b.bw_hi());
+        assert_eq!(s.bandwidth(), u64::from(b.bandwidth()));
+        assert!(s.nnz > 0);
+    }
+
+    #[test]
+    fn empty_matrix_measures_zeroes() {
+        let a = tmu_tensor::CsrMatrix::from_parts(4, 4, vec![0; 5], vec![], vec![]).expect("valid");
+        let s = FiberStats::measure(&a);
+        assert_eq!(s.bandwidth(), 0);
+        assert_eq!(s.row_cov, 0.0);
+        assert_eq!(s.empty_row_frac, 1.0);
+        assert_eq!(s.tiles, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the banded and hashed level layouts: encoding a
+//! CSR matrix and decoding it back is the identity, and each layout's
+//! structural invariants hold on arbitrary sparsity patterns — the
+//! format-level mirror of the tensor crate's BCSR round-trip suite.
+
+use proptest::prelude::*;
+
+use tmu_formats::{BandedMatrix, FormatKind, FormatMatrix, HashedMatrix};
+use tmu_tensor::{CooMatrix, CsrMatrix};
+
+const ROWS: usize = 37;
+const COLS: usize = 41;
+
+fn triplets() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::btree_map((0u32..ROWS as u32, 0u32..COLS as u32), 0.25f64..4.0, 0..200)
+        .prop_map(|m| m.into_iter().map(|((r, c), v)| (r, c, v)).collect())
+}
+
+fn csr_of(ts: Vec<(u32, u32, f64)>) -> CsrMatrix {
+    CsrMatrix::from_coo(&CooMatrix::from_triplets(ROWS, COLS, ts).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn banded_roundtrips_csr_exactly(ts in triplets()) {
+        let csr = csr_of(ts);
+        let banded = BandedMatrix::from_csr(&csr);
+        prop_assert_eq!(banded.nnz(), csr.nnz());
+        // Exact structural round-trip: pointers, indexes, and values —
+        // stored zeros included — come back verbatim.
+        prop_assert_eq!(banded.to_csr(), csr);
+    }
+
+    #[test]
+    fn banded_coords_stay_inside_the_measured_band(ts in triplets()) {
+        let csr = csr_of(ts);
+        let banded = BandedMatrix::from_csr(&csr);
+        let (lo, hi) = (banded.bw_lo() as i64, banded.bw_hi() as i64);
+        prop_assert!(lo + hi + 1 == i64::from(banded.bandwidth()) || csr.nnz() == 0);
+        for r in 0..banded.rows() {
+            for (c, _) in banded.row(r) {
+                let off = i64::from(c) - r as i64;
+                prop_assert!((-lo..=hi).contains(&off), "row {r} col {c} outside band");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_roundtrips_csr_exactly(ts in triplets()) {
+        let csr = csr_of(ts);
+        let hashed = HashedMatrix::from_csr(&csr);
+        prop_assert_eq!(hashed.nnz(), csr.nnz());
+        // `row_sorted` restores coordinate order, so the decode is exact
+        // even though the slot tables store hash order.
+        prop_assert_eq!(hashed.to_csr(), csr);
+    }
+
+    #[test]
+    fn hashed_slots_are_injective_and_probe_exact(ts in triplets()) {
+        let csr = csr_of(ts);
+        let hashed = HashedMatrix::from_csr(&csr);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..csr.rows() {
+            for (c, v) in csr.row(r) {
+                let slot = hashed.slot_index(r, c).expect("stored entry probes to a slot");
+                prop_assert!(seen.insert(slot), "slot {slot} assigned twice");
+                prop_assert_eq!(hashed.get(r, c).map(f64::to_bits), Some(v.to_bits()));
+            }
+        }
+        prop_assert!(hashed.load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn every_format_kind_roundtrips(ts in triplets()) {
+        let csr = csr_of(ts);
+        for kind in FormatKind::ALL {
+            let back = FormatMatrix::encode(kind, &csr).decode();
+            prop_assert_eq!(back.row_ptrs(), csr.row_ptrs(), "{}", kind);
+            prop_assert_eq!(back.col_idxs(), csr.col_idxs(), "{}", kind);
+            let bits: Vec<u64> = back.vals().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = csr.vals().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bits, want, "{}", kind);
+        }
+    }
+}

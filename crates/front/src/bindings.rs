@@ -10,8 +10,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tmu::MemImage;
+use tmu_formats::{FormatKind, FormatMatrix};
 use tmu_kernels::data::{CsfOnSim, CsrOnSim, DcsrOnSim, DenseOnSim};
 use tmu_sim::{AddressMap, Region};
+use tmu_tensor::level::LevelFormat;
 use tmu_tensor::{gen, CooMatrix, CsfTensor, CsrMatrix, DcsrMatrix};
 
 use crate::ast::Expr;
@@ -365,7 +367,24 @@ pub fn auto_bind(expr: &Expr, base: &CsrMatrix) -> Result<AutoBound, FrontError>
                         ));
                     }
                     rank2_bound += 1;
-                    if a.level_is_sparse(0) {
+                    // Physical level layouts (banded/hashed/blocked) reach
+                    // the lowerer through the canonical-stream seam: the
+                    // derived matrix is encoded into the annotated layout,
+                    // then decoded back to canonical CSR (exact by the
+                    // formats crate's round-trip guarantee) and streamed as
+                    // CSR. The encode/decode pair is what the generated
+                    // conversion routines charge for in the bench ablation.
+                    let physical = match a.format.levels()[1] {
+                        LevelFormat::Banded => Some(FormatKind::Banded),
+                        LevelFormat::Hashed => Some(FormatKind::Hashed),
+                        LevelFormat::Blocked => Some(FormatKind::Bcsr),
+                        _ => None,
+                    };
+                    if let Some(kind) = physical {
+                        let canonical = FormatMatrix::encode(kind, &m).decode();
+                        let s = CsrOnSim::bind(&mut map, &mut image, &a.tensor, &canonical);
+                        TensorData::from_csr(&a.tensor, &s)
+                    } else if a.level_is_sparse(0) {
                         let d = DcsrMatrix::from_csr(&m);
                         let s = DcsrOnSim::bind(&mut map, &mut image, &a.tensor, &d);
                         TensorData::from_dcsr(&a.tensor, &s)

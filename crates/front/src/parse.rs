@@ -215,7 +215,11 @@ fn resolve_format(
             )
         }),
         Some((name, span)) => {
-            if !KNOWN_ANNOTATIONS.contains(&name) {
+            // Annotation names are case-insensitive (the whole-format
+            // names share one parser contract with the CLI format names,
+            // see `tmu_formats::FormatKind::parse`).
+            let folded = name.to_ascii_lowercase();
+            if !KNOWN_ANNOTATIONS.contains(&folded.as_str()) {
                 return Err(FrontError::new(
                     ErrorKind::UnknownFormat,
                     span,

@@ -52,9 +52,12 @@ fn malformed_corpus_yields_spanned_errors() {
         // Rank mismatch: annotation arity or reuse contradicts the access.
         ("y(i) = A(i:csr) * x(i)", ErrorKind::RankMismatch),
         ("y(i) = A(i,j,k:csr) * x(k)", ErrorKind::RankMismatch),
-        // Unknown storage format.
+        // Unknown storage format. Annotation names fold case ("CSR"
+        // parses as "csr"), so the probes must be genuinely unknown in
+        // any case.
         ("y(i) = A(i,j:blocked) * x(j)", ErrorKind::UnknownFormat),
-        ("y(i) = A(i,j:CSR) * x(j)", ErrorKind::UnknownFormat),
+        ("y(i) = A(i,j:xsr) * x(j)", ErrorKind::UnknownFormat),
+        ("y(i) = A(i,j:BaNd) * x(j)", ErrorKind::UnknownFormat),
         // Empty right-hand side.
         ("y(i) =", ErrorKind::EmptyRhs),
         ("y(i) =   ", ErrorKind::EmptyRhs),

@@ -264,6 +264,105 @@ impl CsfOnSim {
     }
 }
 
+/// A banded-level matrix bound into the simulated address space. The
+/// kernels crate stays layout-agnostic: the bind takes the raw encoded
+/// arrays (row pointers, coordinate deltas, values) so the formats crate
+/// can marshal its banded storage without a dependency cycle.
+#[derive(Debug, Clone)]
+pub struct BandedOnSim {
+    /// Row pointers (`rows + 1`).
+    pub ptrs: Arc<Vec<u32>>,
+    /// Coordinate deltas (one per stored entry).
+    pub deltas: Arc<Vec<u32>>,
+    /// Values.
+    pub vals: Arc<Vec<f64>>,
+    /// Region of `ptrs`.
+    pub ptrs_r: Region,
+    /// Region of `deltas`.
+    pub deltas_r: Region,
+    /// Region of `vals`.
+    pub vals_r: Region,
+}
+
+impl BandedOnSim {
+    /// Allocates regions for the encoded arrays and binds them in `image`.
+    pub fn bind(
+        map: &mut AddressMap,
+        image: &mut MemImage,
+        name: &str,
+        ptrs: &[u32],
+        deltas: &[u32],
+        vals: &[f64],
+    ) -> Self {
+        let ptrs = Arc::new(ptrs.to_vec());
+        let deltas = Arc::new(deltas.to_vec());
+        let vals = Arc::new(vals.to_vec());
+        let ptrs_r = map.alloc_elems(&format!("{name}.ptrs"), ptrs.len(), 4);
+        let deltas_r = map.alloc_elems(&format!("{name}.deltas"), deltas.len().max(1), 4);
+        let vals_r = map.alloc_elems(&format!("{name}.vals"), vals.len().max(1), 8);
+        image.bind_u32(ptrs_r, Arc::clone(&ptrs));
+        image.bind_u32(deltas_r, Arc::clone(&deltas));
+        image.bind_f64(vals_r, Arc::clone(&vals));
+        Self {
+            ptrs,
+            deltas,
+            vals,
+            ptrs_r,
+            deltas_r,
+            vals_r,
+        }
+    }
+}
+
+/// A hashed-level matrix bound into the simulated address space: per-row
+/// slot-offset pointers plus the slot coordinate/value tables (raw
+/// arrays, for the same layering reason as [`BandedOnSim`]).
+#[derive(Debug, Clone)]
+pub struct HashedOnSim {
+    /// Slot offsets per row (`rows + 1`).
+    pub row_base: Arc<Vec<u32>>,
+    /// Slot coordinates (sentinel-marked when unoccupied).
+    pub slots: Arc<Vec<u32>>,
+    /// Slot values.
+    pub svals: Arc<Vec<f64>>,
+    /// Region of `row_base`.
+    pub row_base_r: Region,
+    /// Region of `slots`.
+    pub slots_r: Region,
+    /// Region of `svals`.
+    pub svals_r: Region,
+}
+
+impl HashedOnSim {
+    /// Allocates regions for the slot tables and binds them in `image`.
+    pub fn bind(
+        map: &mut AddressMap,
+        image: &mut MemImage,
+        name: &str,
+        row_base: &[u32],
+        slots: &[u32],
+        svals: &[f64],
+    ) -> Self {
+        let row_base = Arc::new(row_base.to_vec());
+        let slots = Arc::new(slots.to_vec());
+        let svals = Arc::new(svals.to_vec());
+        let row_base_r = map.alloc_elems(&format!("{name}.row_base"), row_base.len(), 4);
+        let slots_r = map.alloc_elems(&format!("{name}.slots"), slots.len().max(1), 4);
+        let svals_r = map.alloc_elems(&format!("{name}.svals"), svals.len().max(1), 8);
+        image.bind_u32(row_base_r, Arc::clone(&row_base));
+        image.bind_u32(slots_r, Arc::clone(&slots));
+        image.bind_f64(svals_r, Arc::clone(&svals));
+        Self {
+            row_base,
+            slots,
+            svals,
+            row_base_r,
+            slots_r,
+            svals_r,
+        }
+    }
+}
+
 /// Splits `rows` into `shards` contiguous ranges with balanced nnz counts
 /// (static scheduling as used by the paper's multithreaded baselines).
 pub fn partition_rows(ptrs: &[u32], shards: usize) -> Vec<(usize, usize)> {
@@ -353,6 +452,32 @@ mod tests {
         assert_eq!(sim.nnz(), 64);
         assert_eq!(sim.ptrs.len(), 2);
         assert_eq!(sim.idxs.len(), 3);
+    }
+
+    #[test]
+    fn raw_level_bindings_roundtrip_through_the_image() {
+        let mut map = AddressMap::new();
+        let mut image = MemImage::new();
+        let b = BandedOnSim::bind(
+            &mut map,
+            &mut image,
+            "b",
+            &[0, 2, 3],
+            &[1, 2, 0],
+            &[1.5, 2.5, 3.5],
+        );
+        assert_eq!(image.read_index(b.deltas_r.u32_at(1)), 2);
+        assert_eq!(f64::from_bits(image.read_bits(b.vals_r.f64_at(2))), 3.5);
+        let h = HashedOnSim::bind(
+            &mut map,
+            &mut image,
+            "h",
+            &[0, 4],
+            &[u32::MAX, 7, u32::MAX, 3],
+            &[0.0, 1.25, 0.0, 2.25],
+        );
+        assert_eq!(image.read_index(h.slots_r.u32_at(1)), 7);
+        assert_eq!(f64::from_bits(image.read_bits(h.svals_r.f64_at(3))), 2.25);
     }
 
     #[test]

@@ -16,7 +16,9 @@ pub struct CooMatrix {
 
 impl CooMatrix {
     /// Builds a COO matrix from triplets, sorting them row-major and summing
-    /// duplicates.
+    /// duplicates *in input order* (taco build semantics): the stored value
+    /// of a repeated coordinate is the left-to-right fold of its
+    /// occurrences, so the result is bit-reproducible for any input.
     ///
     /// # Errors
     ///
@@ -43,7 +45,11 @@ impl CooMatrix {
                 });
             }
         }
-        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Stable sort: duplicate coordinates keep their input order, so
+        // their values are summed in order of appearance (taco build
+        // semantics) — an unstable sort would make the f64 accumulation
+        // order, and therefore the stored bits, unspecified.
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
         let mut row_idxs = Vec::with_capacity(triplets.len());
         let mut col_idxs = Vec::with_capacity(triplets.len());
         let mut vals: Vec<Val> = Vec::with_capacity(triplets.len());
@@ -160,7 +166,9 @@ impl CooTensor {
                 }
             }
         }
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        // Stable: duplicates are summed in input order (see
+        // `CooMatrix::from_triplets`).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut idxs: Vec<Vec<Idx>> = vec![Vec::with_capacity(entries.len()); order];
         let mut vals: Vec<Val> = Vec::with_capacity(entries.len());
         let mut last: Option<Vec<Idx>> = None;
@@ -250,6 +258,41 @@ mod tests {
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.row_idxs(), &[0, 1]);
         assert_eq!(m.vals(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicates_summed_in_input_order_bitwise() {
+        // 1e16 + 1.0 rounds the 1.0 away, so the fold order over a
+        // duplicate's occurrences is observable in the stored bits:
+        //   (1e16 + 1.0) + 1.0 = 1e16, but (1.0 + 1.0) + 1e16 = 1e16 + 2.
+        // The builders pin the input-appearance order.
+        let want = (1e16f64 + 1.0) + 1.0;
+        let other = (1.0f64 + 1.0) + 1e16;
+        assert_ne!(want.to_bits(), other.to_bits(), "orders must differ");
+        let dups = vec![(0u32, 0u32, 1e16), (0, 0, 1.0), (0, 0, 1.0)];
+        let m = CooMatrix::from_triplets(1, 1, dups).expect("valid");
+        assert_eq!(m.vals()[0].to_bits(), want.to_bits());
+        // Same contract for the tensor builder.
+        let entries = vec![
+            (vec![0u32, 0u32], 1e16),
+            (vec![0, 0], 1.0),
+            (vec![0, 0], 1.0),
+        ];
+        let t = CooTensor::from_entries(vec![1, 1], entries).expect("valid");
+        assert_eq!(t.vals()[0].to_bits(), want.to_bits());
+        // And duplicates arriving interleaved with other coordinates still
+        // fold in *appearance* order, independent of where sorting moves
+        // them — this is what a stable sort guarantees and an unstable
+        // sort does not.
+        let shuffled = vec![
+            (1u32, 0u32, 7.0),
+            (0, 0, 1e16),
+            (1, 1, 8.0),
+            (0, 0, 1.0),
+            (0, 0, 1.0),
+        ];
+        let m = CooMatrix::from_triplets(2, 2, shuffled).expect("valid");
+        assert_eq!(m.vals()[0].to_bits(), want.to_bits());
     }
 
     #[test]

@@ -25,12 +25,32 @@ pub enum LevelFormat {
     /// levels); traversed alongside the parent (TMU `DnsFbrT` over
     /// positions + a `mem` stream per singleton level).
     Singleton,
+    /// Non-empty coordinates stored as narrow deltas from a per-parent
+    /// band origin behind a pointer pair (diagonal/stencil matrices);
+    /// traversed like [`LevelFormat::Compressed`] with an affine
+    /// coordinate decode (`tmu-formats` banded level).
+    Banded,
+    /// Non-empty coordinates stored in a per-parent open-addressing
+    /// table; position order is *not* coordinate order, so ordered
+    /// traversal goes through a sorted canonical materialization
+    /// (`tmu-formats` hashed level).
+    Hashed,
+    /// Coordinates grouped into dense sub-blocks behind a block pointer
+    /// pair (BCSR); traversed per stored block with an occupancy mask
+    /// (`tmu-formats` blocked level over `BcsrMatrix`).
+    Blocked,
 }
 
 impl LevelFormat {
     /// Whether traversing this level needs a data-dependent loop bound.
     pub fn is_data_dependent(self) -> bool {
-        matches!(self, LevelFormat::Compressed)
+        matches!(
+            self,
+            LevelFormat::Compressed
+                | LevelFormat::Banded
+                | LevelFormat::Hashed
+                | LevelFormat::Blocked
+        )
     }
 }
 
@@ -88,6 +108,25 @@ impl FormatDescriptor {
         )
     }
 
+    /// Descriptor for a banded matrix: dense rows over a banded level.
+    pub fn banded(rows: usize) -> Self {
+        Self::new(vec![LevelFormat::Dense { size: rows }, LevelFormat::Banded])
+    }
+
+    /// Descriptor for a hashed matrix: dense rows over a hashed level.
+    pub fn hashed(rows: usize) -> Self {
+        Self::new(vec![LevelFormat::Dense { size: rows }, LevelFormat::Hashed])
+    }
+
+    /// Descriptor for a BCSR matrix: dense block rows over a blocked
+    /// level.
+    pub fn bcsr(rows: usize) -> Self {
+        Self::new(vec![
+            LevelFormat::Dense { size: rows },
+            LevelFormat::Blocked,
+        ])
+    }
+
     /// Resolves a textual format annotation (as written in expression
     /// front-end accesses, e.g. `A(i,j:csr)`) to its level stack for a
     /// rank-`rank` access. The annotation names the whole-tensor format;
@@ -96,8 +135,10 @@ impl FormatDescriptor {
     /// not sizes). Returns `None` when the annotation exists but cannot
     /// describe a tensor of this rank (a rank mismatch, distinct from an
     /// unknown annotation — see [`KNOWN_ANNOTATIONS`]).
+    /// Annotation names are matched case-insensitively (`A(i,j:CSR)` and
+    /// `A(i,j:csr)` name the same format).
     pub fn from_annotation(name: &str, rank: usize) -> Option<Self> {
-        match (name, rank) {
+        match (name.to_ascii_lowercase().as_str(), rank) {
             (_, 0) => None,
             ("dense", r) => Some(Self::dense(&vec![0; r])),
             ("sparse", 1) => Some(Self::new(vec![LevelFormat::Compressed])),
@@ -105,6 +146,9 @@ impl FormatDescriptor {
             ("dcsr", 2) => Some(Self::dcsr()),
             ("coo", r) => Some(Self::coo(r)),
             ("csf", r) => Some(Self::csf(r)),
+            ("banded", 2) => Some(Self::banded(0)),
+            ("hashed", 2) => Some(Self::hashed(0)),
+            ("bcsr", 2) => Some(Self::bcsr(0)),
             _ => None,
         }
     }
@@ -151,6 +195,23 @@ impl FormatDescriptor {
                 LevelFormat::Singleton => {
                     words += nnz;
                 }
+                LevelFormat::Banded => {
+                    // Same layout as compressed — a pointer pair per
+                    // parent plus one (narrow) delta word per node.
+                    words += parents + 1 + node_counts.get(l).copied().unwrap_or(nnz);
+                }
+                LevelFormat::Hashed => {
+                    // Slot offsets per parent plus an open-addressing
+                    // table sized ~2× the stored nodes (the tmu-formats
+                    // hashed level's load-factor bound).
+                    words += parents + 1 + 2 * node_counts.get(l).copied().unwrap_or(nnz);
+                }
+                LevelFormat::Blocked => {
+                    // Block pointer pair per parent, then per stored
+                    // block: a block column plus a 64-bit occupancy mask
+                    // (two u32 words).
+                    words += parents + 1 + 3 * node_counts.get(l).copied().unwrap_or(nnz);
+                }
             }
         }
         words
@@ -161,7 +222,9 @@ impl FormatDescriptor {
 /// A name outside this list is an *unknown format*; a name inside it that
 /// still resolves to `None` is a *rank mismatch* — front-ends report the
 /// two differently.
-pub const KNOWN_ANNOTATIONS: [&str; 6] = ["dense", "sparse", "csr", "dcsr", "coo", "csf"];
+pub const KNOWN_ANNOTATIONS: [&str; 9] = [
+    "dense", "sparse", "csr", "dcsr", "coo", "csf", "banded", "hashed", "bcsr",
+];
 
 /// Measured storage statistics of a concrete matrix under each format,
 /// supporting the format-selection rules of §2.2 (`CSR` beats `COO` when
@@ -228,6 +291,25 @@ mod tests {
         assert!(FormatDescriptor::from_annotation("blocked", 2).is_none());
         assert!(KNOWN_ANNOTATIONS.contains(&"csr"));
         assert!(!KNOWN_ANNOTATIONS.contains(&"blocked"));
+        // The physical-layout annotations resolve only at rank 2, each to
+        // a dense level over one data-dependent physical level.
+        for name in ["banded", "hashed", "bcsr"] {
+            assert!(KNOWN_ANNOTATIONS.contains(&name));
+            let f = FormatDescriptor::from_annotation(name, 2).expect("rank 2");
+            assert_eq!(f.order(), 2);
+            assert!(!f.levels()[0].is_data_dependent());
+            assert!(f.levels()[1].is_data_dependent());
+            assert!(FormatDescriptor::from_annotation(name, 3).is_none());
+        }
+        // Annotation lookup is case-insensitive.
+        assert_eq!(
+            FormatDescriptor::from_annotation("BANDED", 2),
+            FormatDescriptor::from_annotation("banded", 2)
+        );
+        assert_eq!(
+            FormatDescriptor::from_annotation("Csr", 2),
+            FormatDescriptor::from_annotation("csr", 2)
+        );
         // Defaults: dense vectors, CSR matrices, CSF tensors.
         assert_eq!(
             FormatDescriptor::default_for_rank(1)

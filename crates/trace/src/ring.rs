@@ -73,6 +73,13 @@ pub enum EventKind {
     /// upstream was still live, or the output queue was full
     /// (payload: node id).
     MergerStall,
+    /// A format-conversion routine re-marshaled a tensor between physical
+    /// layouts (payload: `src format << 32 | dst format`, indexes into the
+    /// formats crate's kind order).
+    FormatConvert,
+    /// The format autotuner committed a per-input layout decision
+    /// (payload: `picked format << 32 | stored nnz`, clamped).
+    AutotunePick,
 
     // -- counter samples (serving layer) --
     /// Jobs waiting in one tenant's admission queue (sampled by the
@@ -149,6 +156,8 @@ impl EventKind {
             EventKind::TileExtract => "tile_extract",
             EventKind::StreamToken => "stream_token",
             EventKind::MergerStall => "merger_stall",
+            EventKind::FormatConvert => "format_convert",
+            EventKind::AutotunePick => "autotune_pick",
             EventKind::QueueDepth => "queue_depth",
             EventKind::TuFetch => "tu_fetch",
             EventKind::TgStep => "tg_step",

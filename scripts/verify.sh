@@ -42,6 +42,15 @@ cargo test -q --release -p tmu-backends
 # panics, and writes schema-v3 rows to results/bench.json.
 TMU_SCALE=0.05 cargo run --release -q -p tmu-bench --bin matrix -- spmv expr
 
+echo "== formats: level round-trips, conversion faults, autotuner smoke =="
+# Level-format proptests, conversion round-trips, the csr→banded TMU
+# program under the fault grid, and the schema-v4 json pinning.
+cargo test -q --release -p tmu-formats
+# Reduced-scale autotuner ablation (best layout vs CSR-always over the
+# Table 6 grid); exits nonzero if any pick or modeled run panics, and
+# writes schema-v4 rows (figure "formats") to results/bench.json.
+TMU_SCALE=0.05 cargo run --release -q -p tmu-bench --bin formats
+
 echo "== serving layer: differential grid + two-tenant smoke (both policies) =="
 cargo test -q --release -p tmu-serve
 # A small contended trace under each policy; the serving DES is
