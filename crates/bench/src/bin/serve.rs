@@ -14,8 +14,16 @@
 //!   against the ~1k-cycle jobs so the pool actually contends).
 //! * `TMU_QUANTUM` — scheduling quantum in cycles (default 1000).
 //! * `TMU_SEED` — arrival-trace seed (default 0xC0FFEE).
-//! * `TMU_POLICY` — `round_robin`/`rr`, `weighted_fair`/`wf`, or
-//!   `both` (default) to run the same trace under each policy.
+//! * `TMU_POLICY` — `round_robin`/`rr`, `weighted_fair`/`wf`,
+//!   `edf`/`earliest_deadline`, or `both` (default) to run the same
+//!   trace under round-robin and weighted-fair.
+//! * `TMU_CHAOS` — injected slot faults per 1 000 scheduling quanta
+//!   (default 0: chaos off, output byte-identical to the
+//!   pre-resilience binary).
+//! * `TMU_RETRY_BUDGET` — retries a faulted job may consume before it
+//!   lands in the typed `Failed` state (default 3).
+//! * `TMU_CHECKPOINT_EVERY` — service cycles between periodic job
+//!   checkpoints (default 0: checkpoint only on preemption).
 //!
 //! The serving simulation is a single-threaded discrete-event loop, so
 //! the output is deterministic for a fixed seed regardless of
@@ -24,7 +32,9 @@
 use tmu_bench::json::BenchRow;
 use tmu_bench::runner::parse_pos_int;
 use tmu_bench::Report;
-use tmu_serve::{serve, synthesize, Policy, ServeConfig, TraceConfig};
+use tmu_serve::{
+    serve, synthesize, Policy, ResilienceConfig, ServeConfig, SlotFaultSpec, TraceConfig,
+};
 
 fn knob(name: &str, default: u64) -> u64 {
     let raw = std::env::var(name).ok();
@@ -65,18 +75,36 @@ fn run() -> std::process::ExitCode {
     };
     let slots = knob("TMU_SLOTS", 2) as usize;
     let quantum = knob("TMU_QUANTUM", 1_000);
+    let chaos_rate = knob("TMU_CHAOS", 0) as u32;
+    let resilience = ResilienceConfig {
+        slot_faults: if chaos_rate > 0 {
+            SlotFaultSpec::with_rate(trace_cfg.seed ^ 0xC4A05, chaos_rate)
+        } else {
+            SlotFaultSpec::none()
+        },
+        retry_budget: knob("TMU_RETRY_BUDGET", 3) as u32,
+        checkpoint_every: knob("TMU_CHECKPOINT_EVERY", 0),
+        ..ResilienceConfig::default()
+    };
 
     let mut report = Report::new("serve", "multi-tenant serving: throughput and latency");
     report.line(format!(
         "trace: {} jobs, {} tenants, seed {:#x}; pool: {} slot(s), quantum {} cycles",
         trace_cfg.jobs, trace_cfg.tenants, trace_cfg.seed, slots, quantum
     ));
+    if chaos_rate > 0 {
+        report.line(format!(
+            "chaos: {chaos_rate}/1k slot-fault rate, retry budget {}, checkpoint every {} cycles",
+            resilience.retry_budget, resilience.checkpoint_every
+        ));
+    }
 
     for policy in policies() {
         let cfg = ServeConfig {
             slots,
             quantum,
             policy,
+            resilience,
             ..ServeConfig::default()
         };
         let trace = synthesize(&trace_cfg);
@@ -96,11 +124,41 @@ fn run() -> std::process::ExitCode {
             out.build_misses,
             out.build_hits
         ));
+        // Resilience summary and per-tenant fault lines appear only when
+        // something actually faulted/shed, so a chaos-off run's report
+        // stays byte-identical to the pre-resilience binary.
+        if out.slot_faults.injected > 0
+            || !out.failed.is_empty()
+            || out.shed_total() > 0
+            || out.checkpoints > 0
+        {
+            report.line(format!(
+                "  resilience: {} slot fault(s) ({} crash / {} hang / {} degrade), \
+                 {} retry(ies), {} failed, {} shed, {} checkpoint(s) ({} cycles), \
+                 {} breaker open(s)",
+                out.slot_faults.injected,
+                out.slot_faults.crashes,
+                out.slot_faults.hangs,
+                out.slot_faults.degrades,
+                out.retries_total(),
+                out.failed.len(),
+                out.shed_total(),
+                out.checkpoints,
+                out.checkpoint_cycles_total(),
+                out.breaker_opens
+            ));
+        }
         report.line(format!(
             "  {:<8} {:>5} {:>4} {:>12} {:>10} {:>10} {:>10}",
             "tenant", "done", "rej", "thr/Mcyc", "p50", "p95", "p99"
         ));
-        for t in tmu_serve::tenant_reports(&out.outcomes, &out.rejected, out.makespan) {
+        for t in tmu_serve::tenant_reports(
+            &out.outcomes,
+            &out.failed,
+            &out.rejected,
+            &out.retries,
+            out.makespan,
+        ) {
             report.line(format!(
                 "  tenant{:<2} {:>5} {:>4} {:>12.3} {:>10} {:>10} {:>10}",
                 t.tenant,
@@ -111,6 +169,12 @@ fn run() -> std::process::ExitCode {
                 t.sojourn.p95,
                 t.sojourn.p99
             ));
+            if t.failed > 0 || t.retries > 0 || t.deadline_misses > 0 {
+                report.line(format!(
+                    "  tenant{:<2}   {} retry(ies), {} failed, {} deadline miss(es)",
+                    t.tenant, t.retries, t.failed, t.deadline_misses
+                ));
+            }
             let queue_cycles: u64 = out
                 .outcomes
                 .iter()
@@ -133,6 +197,10 @@ fn run() -> std::process::ExitCode {
                 lat_p50: t.sojourn.p50,
                 lat_p95: t.sojourn.p95,
                 lat_p99: t.sojourn.p99,
+                retries: t.retries,
+                deadline_miss: t.deadline_misses,
+                shed: t.rejected,
+                checkpoint_cycles: out.checkpoint_cycles.get(&t.tenant).copied().unwrap_or(0),
                 ..BenchRow::default()
             });
         }

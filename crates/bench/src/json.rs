@@ -14,11 +14,11 @@
 //! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
 //! `null`.
 //!
-//! Schema (`schema_version` 4):
+//! Schema (`schema_version` 5):
 //!
 //! ```text
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "figures": {
 //!     "<figure>": [ { <BenchRow fields> }, ... ],
 //!     ...
@@ -41,6 +41,11 @@
 //! cycles of the csr→format conversion, 0 for the identity). Both are
 //! emitted only on rows tagged with a format by the `formats` binary, so
 //! kernel rows from every other figure stay byte-identical to v3.
+//!
+//! Version 5 adds the resilience fields `retries`, `deadline_miss`,
+//! `shed`, and `checkpoint_cycles` to the tenant block (after
+//! `lat_p99`). They ride only on rows carrying a `tenant`, so every
+//! non-serving row stays byte-identical to v4.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -159,6 +164,18 @@ pub struct BenchRow {
     pub lat_p95: u64,
     /// p99 of the tenant's sojourn latency (cycles).
     pub lat_p99: u64,
+    /// Retry attempts across the tenant's jobs after serving-visible
+    /// faults (schema v5; tenant rows only, like the v2 block).
+    pub retries: u64,
+    /// Completed jobs of the tenant that finished past their deadline
+    /// (schema v5; tenant rows only).
+    pub deadline_miss: u64,
+    /// Arrivals shed at admission — queue full, circuit open, or global
+    /// saturation (schema v5; tenant rows only).
+    pub shed: u64,
+    /// Cycles the tenant's jobs spent saving periodic checkpoints
+    /// (schema v5; tenant rows only).
+    pub checkpoint_cycles: u64,
     /// Mean fraction of live lanes per 4×8 tile (schema v3; emitted only
     /// on `blocked-sve` rows).
     pub tile_occupancy: Option<f64>,
@@ -312,6 +329,12 @@ impl BenchRow {
             u64_field!("lat_p50", self.lat_p50);
             u64_field!("lat_p95", self.lat_p95);
             u64_field!("lat_p99", self.lat_p99);
+            // Resilience telemetry (schema v5) rides the tenant block, so
+            // non-serving rows stay byte-identical to v4.
+            u64_field!("retries", self.retries);
+            u64_field!("deadline_miss", self.deadline_miss);
+            u64_field!("shed", self.shed);
+            u64_field!("checkpoint_cycles", self.checkpoint_cycles);
         }
         // Drop the trailing comma.
         out.pop();
@@ -334,7 +357,7 @@ pub fn record(figure: &str, rows: Vec<BenchRow>) {
 
 fn render(figures: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
-    out.push_str("{\n\"schema_version\":4,\n\"figures\":{\n");
+    out.push_str("{\n\"schema_version\":5,\n\"figures\":{\n");
     let mut first_fig = true;
     for (figure, body) in figures {
         if !first_fig {
@@ -640,7 +663,7 @@ mod tests {
         );
         record("zz_test_fig_b", Vec::new());
         let s = render_bench_json();
-        assert!(s.contains("\"schema_version\":4"));
+        assert!(s.contains("\"schema_version\":5"));
         assert!(s.contains("\"zz_test_fig_a\":["));
         assert!(s.contains("\"zz_test_fig_b\":["));
         // Re-recording replaces, not appends.
@@ -701,11 +724,11 @@ mod tests {
         let mut s = String::new();
         served.write(&mut s);
         assert!(
-            s.ends_with(
+            s.contains(
                 "\"tenant\":\"tenant0\",\"queue_cycles\":1234,\"service_cycles\":5678,\
-                 \"lat_p50\":10,\"lat_p95\":95,\"lat_p99\":99}"
+                 \"lat_p50\":10,\"lat_p95\":95,\"lat_p99\":99,"
             ),
-            "v2 serving fields pinned at the row tail: {s}"
+            "v2 serving fields pinned in order: {s}"
         );
         validate(&format!("[{s}]")).expect("serving row must be well-formed JSON");
 
@@ -832,6 +855,53 @@ mod tests {
         plain.write(&mut p);
         for key in ["\"format\"", "conv_cycles"] {
             assert!(!p.contains(key), "v3-shaped row must omit {key}: {p}");
+        }
+        validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
+    }
+
+    #[test]
+    fn schema_v5_resilience_fields_pin_and_roundtrip() {
+        // A serving row's tenant block ends with the four v5 resilience
+        // keys, in pinned order…
+        let served = BenchRow {
+            figure: "serve".into(),
+            kernel: "mix".into(),
+            engine: "tmu-serve".into(),
+            machine: "table5".into(),
+            tenant: Some("tenant1".into()),
+            lat_p99: 99,
+            retries: 3,
+            deadline_miss: 2,
+            shed: 5,
+            checkpoint_cycles: 4096,
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        served.write(&mut s);
+        assert!(
+            s.ends_with(
+                "\"lat_p99\":99,\"retries\":3,\"deadline_miss\":2,\"shed\":5,\
+                 \"checkpoint_cycles\":4096}"
+            ),
+            "v5 resilience fields pinned at the row tail: {s}"
+        );
+        validate(&format!("[{s}]")).expect("serving row must be well-formed JSON");
+
+        // …while a tenant-less row emits none of them, byte-identical to
+        // the v4 layout even with nonzero counters set.
+        let plain = BenchRow {
+            figure: "fig10".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            retries: 9,
+            shed: 9,
+            ..BenchRow::default()
+        };
+        let mut p = String::new();
+        plain.write(&mut p);
+        for key in ["retries", "deadline_miss", "\"shed\"", "checkpoint_cycles"] {
+            assert!(!p.contains(key), "v4-shaped row must omit {key}: {p}");
         }
         validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
     }

@@ -23,6 +23,10 @@ pub struct TraceConfig {
     pub seed: u64,
     /// Include einsum-expression jobs in the mix (alongside kernels).
     pub with_exprs: bool,
+    /// Deadline slack in cycles: every job's deadline is its arrival
+    /// plus this. 0 generates no deadlines (the default — traces stay
+    /// identical to the pre-deadline generator).
+    pub deadline_slack: u64,
 }
 
 impl Default for TraceConfig {
@@ -33,6 +37,7 @@ impl Default for TraceConfig {
             mean_gap: 30_000,
             seed: 0xC0FFEE,
             with_exprs: true,
+            deadline_slack: 0,
         }
     }
 }
@@ -88,6 +93,7 @@ pub fn synthesize(cfg: &TraceConfig) -> Vec<JobSpec> {
             tenant,
             arrival: clock,
             weight: tenant_weight(tenant),
+            deadline: (cfg.deadline_slack > 0).then(|| clock + cfg.deadline_slack),
             kind,
         });
     }
@@ -149,5 +155,15 @@ mod tests {
 
         let other = synthesize(&TraceConfig { seed: 999, ..cfg });
         assert_ne!(a, other, "seed must matter");
+
+        // Deadlines: off by default, arrival + slack when requested.
+        assert!(a.iter().all(|j| j.deadline.is_none()));
+        let slacked = synthesize(&TraceConfig {
+            deadline_slack: 100_000,
+            ..cfg
+        });
+        assert!(slacked
+            .iter()
+            .all(|j| j.deadline == Some(j.arrival + 100_000)));
     }
 }

@@ -78,6 +78,10 @@ pub struct JobSpec {
     pub arrival: u64,
     /// Scheduling weight under the weighted-fair policy (≥ 1).
     pub weight: u32,
+    /// Completion deadline in cycles, if the job has an SLO. The EDF
+    /// policy orders dispatch by it; a job finishing past its deadline
+    /// still completes but is counted as a deadline miss.
+    pub deadline: Option<u64>,
     /// What to run.
     pub kind: JobKind,
 }

@@ -15,6 +15,14 @@
 //! entry stream is bit-identical to its solo fault-free run. Preemption
 //! changes *when* entries are produced, never *what* is produced.
 //!
+//! The resilience layer ([`ResilienceConfig`]) extends that guarantee
+//! under failure: each slot is a fault domain (crash / watchdog-caught
+//! hang / TMU degrade), jobs checkpoint periodically and restart from
+//! their last checkpoint with a bounded retry budget, and the chaos
+//! differential tests pin that every admitted job either completes with
+//! its solo digest or lands in a typed terminal state — admitted =
+//! completed + shed + failed, exactly.
+//!
 //! # Quick start
 //!
 //! ```
@@ -26,6 +34,7 @@
 //!     mean_gap: 20_000,
 //!     seed: 7,
 //!     with_exprs: false,
+//!     deadline_slack: 0,
 //! });
 //! let out = serve(
 //!     ServeConfig {
@@ -48,6 +57,7 @@ mod digest;
 mod job;
 mod metrics;
 mod policy;
+mod resilience;
 mod server;
 
 pub use arrivals::{synthesize, tenant_weight, TraceConfig};
@@ -56,4 +66,8 @@ pub use digest::{DigestHandler, EntryDigest};
 pub use job::{JobKind, JobSpec, KernelKind};
 pub use metrics::{percentile, tenant_reports, JobOutcome, LatencySummary, TenantReport};
 pub use policy::{Policy, PolicyState};
+pub use resilience::{
+    CircuitBreaker, FailReason, FailedJob, JobFault, ResilienceConfig, ShedCounts, SlotFaultEvent,
+    SlotFaultKind, SlotFaultPlan, SlotFaultSpec, SlotFaultStats,
+};
 pub use server::{serve, solo_digest, ServeConfig, ServeError, ServeOutcome, Server};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::digest::EntryDigest;
+use crate::resilience::FailedJob;
 
 /// Everything recorded about one completed job.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -23,6 +24,11 @@ pub struct JobOutcome {
     pub service_cycles: u64,
     /// Times the scheduler preempted the job mid-run.
     pub preemptions: u32,
+    /// Retry attempts the job consumed after serving-visible faults
+    /// (0 = completed on its first attempt).
+    pub retries: u32,
+    /// Whether the job completed after its deadline.
+    pub deadline_missed: bool,
     /// Digest of the job's marshaled outQ entry stream.
     pub digest: EntryDigest,
 }
@@ -81,8 +87,15 @@ pub struct TenantReport {
     pub tenant: u32,
     /// Jobs completed.
     pub completed: u64,
-    /// Arrivals rejected at admission (bounded queue full).
+    /// Arrivals rejected at admission (queue full, circuit open, or
+    /// global saturation).
     pub rejected: u64,
+    /// Jobs that terminally failed after exhausting their retry budget.
+    pub failed: u64,
+    /// Retry attempts across the tenant's jobs (completed and failed).
+    pub retries: u64,
+    /// Completed jobs that finished past their deadline.
+    pub deadline_misses: u64,
     /// Total slot cycles the tenant consumed.
     pub service_cycles: u64,
     /// Jobs completed per million cycles of makespan.
@@ -95,10 +108,13 @@ pub struct TenantReport {
     pub sojourn: LatencySummary,
 }
 
-/// Builds per-tenant reports from completed-job outcomes.
+/// Builds per-tenant reports from completed-job outcomes, terminal
+/// failures, rejects, and retry counts.
 pub fn tenant_reports(
     outcomes: &[JobOutcome],
+    failed: &[FailedJob],
     rejected: &BTreeMap<u32, u64>,
+    retries: &BTreeMap<u32, u64>,
     makespan: u64,
 ) -> Vec<TenantReport> {
     let mut by_tenant: BTreeMap<u32, Vec<&JobOutcome>> = BTreeMap::new();
@@ -110,6 +126,9 @@ pub fn tenant_reports(
             by_tenant.entry(tenant).or_default();
         }
     }
+    for f in failed {
+        by_tenant.entry(f.tenant).or_default();
+    }
     by_tenant
         .into_iter()
         .map(|(tenant, jobs)| {
@@ -120,6 +139,9 @@ pub fn tenant_reports(
                 tenant,
                 completed: jobs.len() as u64,
                 rejected: rejected.get(&tenant).copied().unwrap_or(0),
+                failed: failed.iter().filter(|f| f.tenant == tenant).count() as u64,
+                retries: retries.get(&tenant).copied().unwrap_or(0),
+                deadline_misses: jobs.iter().filter(|o| o.deadline_missed).count() as u64,
                 service_cycles: service.iter().sum(),
                 throughput_per_mcycle: if makespan == 0 {
                     0.0
@@ -154,6 +176,7 @@ mod tests {
 
     #[test]
     fn reports_split_by_tenant_and_count_rejects() {
+        use crate::resilience::{FailReason, JobFault};
         let digest = EntryDigest { hash: 1, count: 1 };
         let job =
             |id: u32, tenant: u32, arrival: u64, start: u64, end: u64, service: u64| JobOutcome {
@@ -165,6 +188,8 @@ mod tests {
                 completion: end,
                 service_cycles: service,
                 preemptions: 0,
+                retries: 0,
+                deadline_missed: false,
                 digest,
             };
         let outcomes = vec![
@@ -174,10 +199,24 @@ mod tests {
         ];
         let mut rejected = BTreeMap::new();
         rejected.insert(1u32, 2u64);
-        let reports = tenant_reports(&outcomes, &rejected, 1_000_000);
-        assert_eq!(reports.len(), 2);
+        let failed = vec![FailedJob {
+            id: 9,
+            tenant: 2,
+            label: "spmv".into(),
+            arrival: 40,
+            attempts: 4,
+            reason: FailReason::RetryBudgetExhausted {
+                budget: 3,
+                last: JobFault::SlotCrash,
+            },
+        }];
+        let mut retries = BTreeMap::new();
+        retries.insert(0u32, 1u64);
+        let reports = tenant_reports(&outcomes, &failed, &rejected, &retries, 1_000_000);
+        assert_eq!(reports.len(), 3, "failed-only tenants get a report too");
         let t0 = &reports[0];
         assert_eq!((t0.tenant, t0.completed, t0.rejected), (0, 2, 0));
+        assert_eq!((t0.failed, t0.retries), (0, 1));
         assert_eq!(t0.service_cycles, 200);
         assert_eq!(t0.sojourn.p50, 110);
         assert_eq!(t0.queue.p50, 10);
@@ -185,5 +224,35 @@ mod tests {
         let t1 = &reports[1];
         assert_eq!((t1.tenant, t1.completed, t1.rejected), (1, 1, 2));
         assert_eq!(t1.sojourn.p99, 300);
+        let t2 = &reports[2];
+        assert_eq!((t2.tenant, t2.completed, t2.failed), (2, 0, 1));
+    }
+
+    #[test]
+    fn deadline_misses_aggregate_per_tenant() {
+        let digest = EntryDigest { hash: 0, count: 0 };
+        let mk = |id: u32, missed: bool| JobOutcome {
+            id,
+            tenant: 0,
+            label: "spmv".into(),
+            arrival: 0,
+            first_start: 0,
+            completion: 100,
+            service_cycles: 50,
+            preemptions: 0,
+            retries: 0,
+            deadline_missed: missed,
+            digest,
+        };
+        let outcomes = vec![mk(0, true), mk(1, false), mk(2, true)];
+        let reports = tenant_reports(
+            &outcomes,
+            &[],
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+            1_000_000,
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].deadline_misses, 2);
     }
 }

@@ -16,6 +16,11 @@ pub enum Policy {
     RoundRobin,
     /// Stride scheduling by tenant weight.
     WeightedFair,
+    /// Earliest-deadline-first: the backlogged tenant whose most urgent
+    /// eligible job has the earliest deadline runs next (deadline-less
+    /// jobs sort last; ties break on the lowest tenant id). The server
+    /// consults [`PolicyState::pick_edf`] for this policy.
+    Edf,
 }
 
 impl Policy {
@@ -24,15 +29,17 @@ impl Policy {
         match self {
             Policy::RoundRobin => "round_robin",
             Policy::WeightedFair => "weighted_fair",
+            Policy::Edf => "edf",
         }
     }
 
-    /// Parses a policy label (`"round_robin"` / `"weighted_fair"`, with
-    /// `"rr"` / `"wf"` shorthands).
+    /// Parses a policy label (`"round_robin"` / `"weighted_fair"` /
+    /// `"edf"`, with `"rr"` / `"wf"` shorthands).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "round_robin" | "rr" => Some(Policy::RoundRobin),
             "weighted_fair" | "wf" => Some(Policy::WeightedFair),
+            "edf" | "earliest_deadline" => Some(Policy::Edf),
             _ => None,
         }
     }
@@ -77,7 +84,9 @@ impl PolicyState {
             return None;
         }
         let choice = match self.policy {
-            Policy::RoundRobin => match self.rr_last {
+            // Without deadline information EDF degenerates to rotation;
+            // the server passes deadlines through `pick_edf` instead.
+            Policy::RoundRobin | Policy::Edf => match self.rr_last {
                 // First backlogged tenant strictly after the last pick,
                 // wrapping to the smallest.
                 Some(last) => backlogged
@@ -102,6 +111,21 @@ impl PolicyState {
                     .expect("backlogged is non-empty")
             }
         };
+        self.rr_last = Some(choice);
+        Some(choice)
+    }
+
+    /// Picks the next tenant out of `backlogged` pairs of
+    /// `(tenant, earliest eligible deadline)` — deadline-less jobs are
+    /// passed as `u64::MAX`. Earliest deadline wins; ties break on the
+    /// lowest tenant id, deterministically. Returns `None` only when
+    /// `backlogged` is empty.
+    pub fn pick_edf(&mut self, backlogged: &[(u32, u64)]) -> Option<u32> {
+        let choice = backlogged
+            .iter()
+            .copied()
+            .min_by_key(|&(t, d)| (d, t))
+            .map(|(t, _)| t)?;
         self.rr_last = Some(choice);
         Some(choice)
     }
@@ -149,6 +173,19 @@ mod tests {
             (2.5..3.5).contains(&ratio),
             "3:1 weights must yield ~3:1 service, got {ratio:.2}"
         );
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_with_deterministic_ties() {
+        let mut p = PolicyState::new(Policy::Edf);
+        assert_eq!(p.pick_edf(&[]), None);
+        assert_eq!(p.pick_edf(&[(4, 900), (1, 500), (2, 700)]), Some(1));
+        // Deadline-less tenants (u64::MAX) lose to any real deadline.
+        assert_eq!(p.pick_edf(&[(0, u64::MAX), (3, 9_000)]), Some(3));
+        // Equal deadlines: lowest tenant id, deterministically.
+        assert_eq!(p.pick_edf(&[(5, 100), (2, 100)]), Some(2));
+        assert_eq!(Policy::parse("edf"), Some(Policy::Edf));
+        assert_eq!(Policy::Edf.label(), "edf");
     }
 
     #[test]

@@ -28,7 +28,9 @@ use std::sync::{Arc, Mutex};
 
 use tmu::context::ContextSnapshot;
 use tmu::{OutQStats, TmuAccelerator, TmuConfig, TmuError};
-use tmu_sim::{MemSysConfig, ServedCore, SimError, SlotStats};
+use tmu_sim::{
+    MemSysConfig, ServedCore, SimError, SlotFaultKind, SlotFaultPlan, SlotFaultStats, SlotStats,
+};
 use tmu_trace::EventKind;
 
 use crate::build::{BuildCache, BuiltJob};
@@ -36,6 +38,9 @@ use crate::digest::{DigestHandler, EntryDigest};
 use crate::job::JobSpec;
 use crate::metrics::JobOutcome;
 use crate::policy::{Policy, PolicyState};
+use crate::resilience::{
+    CircuitBreaker, FailReason, FailedJob, JobFault, ResilienceConfig, ShedCounts,
+};
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +59,10 @@ pub struct ServeConfig {
     pub policy: Policy,
     /// Per-quantum no-progress watchdog window (cycles).
     pub watchdog: u64,
+    /// Resilience knobs: chaos injection, retry budget/backoff,
+    /// checkpoint cadence, admission control, circuit breaker. The
+    /// default disables every fault source.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +74,7 @@ impl Default for ServeConfig {
             ctx_switch_cycles: 400,
             policy: Policy::RoundRobin,
             watchdog: 10_000_000,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -74,8 +84,26 @@ impl Default for ServeConfig {
 pub struct ServeOutcome {
     /// Completed jobs, in completion order.
     pub outcomes: Vec<JobOutcome>,
-    /// Rejected arrivals per tenant.
+    /// Terminally failed jobs (retry budget exhausted), in failure order.
+    pub failed: Vec<FailedJob>,
+    /// Rejected (shed) arrivals per tenant, all causes summed.
     pub rejected: BTreeMap<u32, u64>,
+    /// Shed arrivals per tenant, broken down by cause.
+    pub shed: BTreeMap<u32, ShedCounts>,
+    /// Retry attempts per tenant (re-dispatches after a job fault).
+    pub retries: BTreeMap<u32, u64>,
+    /// Completed jobs that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Periodic job-level checkpoints saved.
+    pub checkpoints: u64,
+    /// Cycles spent saving checkpoints (drain + context penalty), per
+    /// tenant.
+    pub checkpoint_cycles: BTreeMap<u32, u64>,
+    /// Times a tenant's circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Slot faults observed across the run (injected chaos plus genuine
+    /// watchdog hangs and engine degrades).
+    pub slot_faults: SlotFaultStats,
     /// Cycle the last slot went quiet (max slot clock).
     pub makespan: u64,
     /// Scheduler-initiated preemptions (quiesce + park).
@@ -84,7 +112,8 @@ pub struct ServeOutcome {
     pub build_hits: u64,
     /// Distinct shapes built.
     pub build_misses: u64,
-    /// Per-slot statistics (busy/idle cycles, tenant attribution).
+    /// Per-slot statistics (busy/idle cycles, reboots, tenant
+    /// attribution).
     pub slots: Vec<SlotStats>,
 }
 
@@ -92,6 +121,28 @@ impl ServeOutcome {
     /// The digest of job `id`, if it completed.
     pub fn digest_of(&self, id: u32) -> Option<EntryDigest> {
         self.outcomes.iter().find(|o| o.id == id).map(|o| o.digest)
+    }
+
+    /// Total shed arrivals across all tenants and causes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.values().map(ShedCounts::total).sum()
+    }
+
+    /// Total retry attempts across all tenants.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.values().sum()
+    }
+
+    /// Total cycles spent saving checkpoints.
+    pub fn checkpoint_cycles_total(&self) -> u64 {
+        self.checkpoint_cycles.values().sum()
+    }
+
+    /// The conservation invariant the chaos grid pins: every arrival is
+    /// accounted for exactly once — completed, shed at admission, or
+    /// terminally failed. No silent loss, ever.
+    pub fn conserves(&self, arrivals: usize) -> bool {
+        self.outcomes.len() as u64 + self.failed.len() as u64 + self.shed_total() == arrivals as u64
     }
 }
 
@@ -142,14 +193,33 @@ struct Parked {
     stats: Arc<Mutex<OutQStats>>,
 }
 
+/// A durable job-level checkpoint: unlike [`Parked`] (whose stats handle
+/// is live and keeps mutating), a checkpoint owns a frozen *copy* of the
+/// outQ stats, so a restart after a crash resumes from exactly the
+/// checkpointed state — not from whatever the dead incarnation mutated
+/// afterwards.
+struct Checkpoint {
+    snap: ContextSnapshot,
+    handler: DigestHandler,
+    stats: OutQStats,
+}
+
 /// A job waiting in (or parked back into) a tenant queue.
 struct Waiting {
     spec: JobSpec,
     built: Arc<BuiltJob>,
     parked: Option<Parked>,
+    checkpoint: Option<Checkpoint>,
     first_start: Option<u64>,
     service_cycles: u64,
     preemptions: u32,
+    /// 0-based attempt ordinal; bumps on every serving-visible fault and
+    /// re-derives the engine fault seed ([`tmu_sim::FaultSpec::for_attempt`]).
+    attempt: u32,
+    /// Backoff gate: the job may not dispatch before this cycle.
+    eligible_at: u64,
+    /// Service cycles accumulated since the last checkpoint.
+    since_ckpt: u64,
 }
 
 /// A job currently occupying a slot.
@@ -164,8 +234,24 @@ struct Running {
 struct Slot {
     core: ServedCore,
     running: Option<Running>,
+    /// This slot's chaos schedule, if any.
+    chaos: Option<SlotFaultPlan>,
     /// No work, no future arrivals: excluded from the event loop.
     retired: bool,
+}
+
+/// Mutable resilience bookkeeping of one serving run.
+#[derive(Default)]
+struct ResilState {
+    breakers: BTreeMap<u32, CircuitBreaker>,
+    failed: Vec<FailedJob>,
+    retries: BTreeMap<u32, u64>,
+    shed: BTreeMap<u32, ShedCounts>,
+    deadline_misses: u64,
+    checkpoints: u64,
+    ckpt_cycles: BTreeMap<u32, u64>,
+    breaker_opens: u64,
+    slot_faults: SlotFaultStats,
 }
 
 /// The multi-tenant serving engine. Owns the build cache, the policy
@@ -173,6 +259,7 @@ struct Slot {
 pub struct Server {
     cfg: ServeConfig,
     cache: BuildCache,
+    scripted: BTreeMap<usize, SlotFaultPlan>,
 }
 
 impl Server {
@@ -181,7 +268,16 @@ impl Server {
         Self {
             cfg,
             cache: BuildCache::new(),
+            scripted: BTreeMap::new(),
         }
+    }
+
+    /// Installs a scripted chaos plan on slot `slot`, overriding the
+    /// rate-based plan the configuration would derive. Tests pin exact
+    /// failure points with this. Plans are consumed by the next
+    /// [`Server::run`].
+    pub fn inject_slot_plan(&mut self, slot: usize, plan: SlotFaultPlan) {
+        self.scripted.insert(slot, plan);
     }
 
     /// Serves `trace` to completion and reports what happened.
@@ -191,25 +287,31 @@ impl Server {
     pub fn run(&mut self, mut trace: Vec<JobSpec>) -> Result<ServeOutcome, ServeError> {
         trace.sort_by_key(|j| (j.arrival, j.id));
         let quantum = self.cfg.quantum.max(1);
+        let rcfg = self.cfg.resilience;
 
         let mut slots: Vec<Slot> = (0..self.cfg.slots.max(1))
-            .map(|_| Slot {
+            .map(|i| Slot {
                 core: {
                     let mut c = ServedCore::new(
                         tmu_sim::CoreConfig::neoverse_n1_like(),
                         MemSysConfig::table5(1),
                     );
                     c.set_watchdog(self.cfg.watchdog);
+                    c.set_slot(i);
                     c
                 },
                 running: None,
+                chaos: self
+                    .scripted
+                    .remove(&i)
+                    .or_else(|| SlotFaultPlan::from_spec(rcfg.slot_faults, i as u64)),
                 retired: false,
             })
             .collect();
 
         let mut policy = PolicyState::new(self.cfg.policy);
         let mut queues: BTreeMap<u32, VecDeque<Waiting>> = BTreeMap::new();
-        let mut rejected: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut state = ResilState::default();
         let mut outcomes: Vec<JobOutcome> = Vec::new();
         let mut preemptions = 0u64;
         let mut next_arrival = 0usize;
@@ -230,30 +332,34 @@ impl Server {
                 now,
                 &mut self.cache,
                 &mut queues,
-                &mut rejected,
+                &mut state,
+                &rcfg,
                 self.cfg.queue_cap,
             )?;
 
             if slots[s].running.is_none() {
-                let backlogged: Vec<u32> = queues
-                    .iter()
-                    .filter(|(_, q)| !q.is_empty())
-                    .map(|(&t, _)| t)
-                    .collect();
-                match policy.pick(&backlogged) {
+                match pick_tenant(&mut policy, self.cfg.policy, &queues, now) {
                     Some(tenant) => {
-                        let waiting = queues
-                            .get_mut(&tenant)
-                            .and_then(VecDeque::pop_front)
-                            .expect("policy picked a backlogged tenant");
+                        let queue = queues.get_mut(&tenant).expect("picked tenant has a queue");
+                        let idx = eligible_index(queue, self.cfg.policy, now)
+                            .expect("picked tenant had an eligible job");
+                        let waiting = queue.remove(idx).expect("index in range");
                         self.dispatch(&mut slots[s], waiting)?;
                     }
                     None => {
-                        if next_arrival < trace.len() {
-                            // Idle until the next arrival lands.
-                            slots[s].core.skip_idle_to(trace[next_arrival].arrival);
-                        } else {
-                            slots[s].retired = true;
+                        // Nothing eligible: wake at the next arrival or
+                        // the earliest backoff expiry, whichever is
+                        // sooner; with neither, the slot is done.
+                        let next_arr =
+                            (next_arrival < trace.len()).then(|| trace[next_arrival].arrival);
+                        let next_elig = queues
+                            .values()
+                            .flat_map(|q| q.iter().map(|w| w.eligible_at))
+                            .filter(|&e| e > now)
+                            .min();
+                        match [next_arr, next_elig].into_iter().flatten().min() {
+                            Some(wake) => slots[s].core.skip_idle_to(wake),
+                            None => slots[s].retired = true,
                         }
                         continue;
                     }
@@ -263,9 +369,49 @@ impl Server {
             // Drive one quantum.
             let mut run = slots[s].running.take().expect("dispatched above");
             let tenant = run.waiting.spec.tenant;
-            let out = slots[s].core.drive(&mut run.engine, tenant, quantum)?;
+            let out = match slots[s].core.drive(&mut run.engine, tenant, quantum) {
+                Ok(out) => out,
+                Err(SimError::Watchdog { window, .. }) => {
+                    // A genuine wedge under serving is a slot hang: the
+                    // incarnation is lost, the job retries (or fails
+                    // typed), and the slot reboots.
+                    let now = slots[s].core.now();
+                    state.slot_faults.record(SlotFaultKind::Hang);
+                    trace_event(now, EventKind::WatchdogFired, window);
+                    fault_job(
+                        &rcfg,
+                        run.waiting,
+                        JobFault::SlotHang,
+                        now,
+                        &mut queues,
+                        &mut state,
+                    );
+                    slots[s].core.reboot(now + rcfg.slot_faults.reboot_cycles);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             run.waiting.service_cycles += out.cycles;
+            run.waiting.since_ckpt += out.cycles;
             policy.charge(tenant, run.waiting.spec.weight, out.cycles);
+
+            // A retired engine reports done, so check degradation before
+            // trusting `finished`: the job did NOT complete — its TMU
+            // became unserviceable and this incarnation is lost.
+            if run.engine.retired().is_some() {
+                let now = slots[s].core.now();
+                state.slot_faults.record(SlotFaultKind::Degrade);
+                slots[s].core.flush_inflight();
+                fault_job(
+                    &rcfg,
+                    run.waiting,
+                    JobFault::Degraded,
+                    now,
+                    &mut queues,
+                    &mut state,
+                );
+                continue;
+            }
 
             if out.finished {
                 let now = slots[s].core.now();
@@ -274,6 +420,18 @@ impl Server {
                     EventKind::TenantComplete,
                     (u64::from(tenant) << 32) | u64::from(run.waiting.spec.id),
                 );
+                let deadline_missed = run.waiting.spec.deadline.is_some_and(|d| now > d);
+                if deadline_missed {
+                    state.deadline_misses += 1;
+                    trace_event(
+                        now,
+                        EventKind::DeadlineMiss,
+                        (u64::from(tenant) << 32) | u64::from(run.waiting.spec.id),
+                    );
+                }
+                if rcfg.breaker_threshold > 0 {
+                    state.breakers.entry(tenant).or_default().record_success();
+                }
                 outcomes.push(JobOutcome {
                     id: run.waiting.spec.id,
                     tenant,
@@ -283,8 +441,110 @@ impl Server {
                     completion: now,
                     service_cycles: run.waiting.service_cycles,
                     preemptions: run.waiting.preemptions,
+                    retries: run.waiting.attempt,
+                    deadline_missed,
                     digest: run.engine.handler().digest(),
                 });
+                continue;
+            }
+
+            // Chaos consult: one roll per completed quantum that left the
+            // job unfinished on the slot.
+            if let Some(kind) = slots[s].chaos.as_mut().and_then(SlotFaultPlan::on_quantum) {
+                let reboot_cycles = slots[s]
+                    .chaos
+                    .as_ref()
+                    .map(|p| p.spec().reboot_cycles)
+                    .unwrap_or(0);
+                state.slot_faults.record(kind);
+                match kind {
+                    SlotFaultKind::Crash => {
+                        let now = slots[s].core.now();
+                        trace_event(now, EventKind::SlotCrash, s as u64);
+                        fault_job(
+                            &rcfg,
+                            run.waiting,
+                            JobFault::SlotCrash,
+                            now,
+                            &mut queues,
+                            &mut state,
+                        );
+                        slots[s].core.reboot(now + reboot_cycles);
+                    }
+                    SlotFaultKind::Hang => {
+                        // The slot burns a full watchdog window before
+                        // the hang is caught, then reboots like a crash.
+                        let err = slots[s].core.hang(&run.engine, tenant);
+                        let now = slots[s].core.now();
+                        if let SimError::Watchdog { window, .. } = err {
+                            trace_event(now, EventKind::WatchdogFired, window);
+                        }
+                        fault_job(
+                            &rcfg,
+                            run.waiting,
+                            JobFault::SlotHang,
+                            now,
+                            &mut queues,
+                            &mut state,
+                        );
+                        slots[s].core.reboot(now + reboot_cycles);
+                    }
+                    SlotFaultKind::Degrade => {
+                        // The slot survives; only the incarnation dies.
+                        let now = slots[s].core.now();
+                        slots[s].core.flush_inflight();
+                        fault_job(
+                            &rcfg,
+                            run.waiting,
+                            JobFault::Degraded,
+                            now,
+                            &mut queues,
+                            &mut state,
+                        );
+                    }
+                }
+                continue;
+            }
+
+            let progressed = run.engine.steps_committed() > run.resumed_at;
+
+            // Periodic checkpoint: quiesce, snapshot, freeze the outQ
+            // stats, and resume in place on the same slot. A later crash
+            // restarts the job from here instead of from scratch.
+            if rcfg.checkpoint_every > 0
+                && run.waiting.since_ckpt >= rcfg.checkpoint_every
+                && progressed
+            {
+                let now = slots[s].core.now();
+                let snap = run
+                    .engine
+                    .quiesce(now, 0, slots[s].core.mem_mut())
+                    .map_err(ServeError::Engine)?;
+                slots[s].core.drain(&mut run.engine, tenant)?;
+                let stats = run.engine.stats_handle();
+                let handler = run.engine.into_handler();
+                let frozen = stats.lock().expect("outq stats lock").clone();
+                let mut waiting = run.waiting;
+                waiting.checkpoint = Some(Checkpoint {
+                    snap: snap.clone(),
+                    handler: handler.clone(),
+                    stats: frozen,
+                });
+                waiting.since_ckpt = 0;
+                waiting.parked = Some(Parked {
+                    snap,
+                    handler,
+                    stats,
+                });
+                state.checkpoints += 1;
+                let cost = (slots[s].core.now() - now) + self.cfg.ctx_switch_cycles;
+                *state.ckpt_cycles.entry(tenant).or_insert(0) += cost;
+                trace_event(
+                    now,
+                    EventKind::CheckpointSave,
+                    (u64::from(tenant) << 32) | u64::from(waiting.spec.id),
+                );
+                self.dispatch(&mut slots[s], waiting)?;
                 continue;
             }
 
@@ -297,11 +557,13 @@ impl Server {
                 now,
                 &mut self.cache,
                 &mut queues,
-                &mut rejected,
+                &mut state,
+                &rcfg,
                 self.cfg.queue_cap,
             )?;
-            let contended = queues.values().any(|q| !q.is_empty());
-            let progressed = run.engine.steps_committed() > run.resumed_at;
+            let contended = queues
+                .values()
+                .any(|q| q.iter().any(|w| w.eligible_at <= now));
             if contended && progressed {
                 let snap = run
                     .engine
@@ -314,6 +576,14 @@ impl Server {
                 let handler = run.engine.into_handler();
                 let mut waiting = run.waiting;
                 waiting.preemptions += 1;
+                // A park is a free checkpoint: the snapshot is durable,
+                // so refresh the job's restart point while we have it.
+                waiting.checkpoint = Some(Checkpoint {
+                    snap: snap.clone(),
+                    handler: handler.clone(),
+                    stats: stats.lock().expect("outq stats lock").clone(),
+                });
+                waiting.since_ckpt = 0;
                 waiting.parked = Some(Parked {
                     snap,
                     handler,
@@ -336,9 +606,19 @@ impl Server {
         }
 
         let makespan = slots.iter().map(|sl| sl.core.now()).max().unwrap_or(0);
+        let rejected: BTreeMap<u32, u64> =
+            state.shed.iter().map(|(&t, c)| (t, c.total())).collect();
         Ok(ServeOutcome {
             outcomes,
+            failed: state.failed,
             rejected,
+            shed: state.shed,
+            retries: state.retries,
+            deadline_misses: state.deadline_misses,
+            checkpoints: state.checkpoints,
+            checkpoint_cycles: state.ckpt_cycles,
+            breaker_opens: state.breaker_opens,
+            slot_faults: state.slot_faults,
             makespan,
             preemptions,
             build_hits: self.cache.hits(),
@@ -358,14 +638,12 @@ impl Server {
         // the engine runs.
         slot.core.skip_idle_to(now + self.cfg.ctx_switch_cycles);
         let outq_base = job_outq_base(&waiting.built, waiting.spec.id);
+        // Each attempt re-derives its engine fault seed, so a retry does
+        // not deterministically replay the exact fault that killed it.
+        let faults = self.cfg.resilience.job_faults.for_attempt(waiting.attempt);
         let mut engine = match waiting.parked.take() {
-            None => TmuAccelerator::try_new(
-                TmuConfig::paper(),
-                Arc::clone(&waiting.built.program),
-                Arc::clone(&waiting.built.image),
-                DigestHandler::new(),
-                outq_base,
-            )?,
+            // A live parked context (preempt/checkpoint park) resumes
+            // as-is: its snapshot already carries this attempt's config.
             Some(parked) => TmuAccelerator::resume_from(
                 &parked.snap,
                 Arc::clone(&waiting.built.image),
@@ -373,6 +651,30 @@ impl Server {
                 outq_base,
                 parked.stats,
             )?,
+            None => match &waiting.checkpoint {
+                // Restart after a fault: resume from the durable
+                // checkpoint with a fresh stats cell seeded from the
+                // frozen copy (the dead incarnation's live handle kept
+                // mutating past the save point).
+                Some(ckpt) => {
+                    let mut snap = ckpt.snap.clone();
+                    snap.config = snap.config.with_faults(faults);
+                    TmuAccelerator::resume_from(
+                        &snap,
+                        Arc::clone(&waiting.built.image),
+                        ckpt.handler.clone(),
+                        outq_base,
+                        Arc::new(Mutex::new(ckpt.stats.clone())),
+                    )?
+                }
+                None => TmuAccelerator::try_new(
+                    TmuConfig::paper().with_faults(faults),
+                    Arc::clone(&waiting.built.program),
+                    Arc::clone(&waiting.built.image),
+                    DigestHandler::new(),
+                    outq_base,
+                )?,
+            },
         };
         engine.set_tenant(waiting.spec.tenant);
         if waiting.first_start.is_none() {
@@ -400,8 +702,112 @@ fn job_outq_base(built: &BuiltJob, job_id: u32) -> u64 {
     built.outq_base + (u64::from(job_id) << 28)
 }
 
+/// Asks the policy for the next tenant among those with at least one
+/// *eligible* job (backoff expired). Every policy but EDF reduces to the
+/// plain pick over backlogged tenant ids; EDF passes each tenant's
+/// earliest eligible deadline through.
+fn pick_tenant(
+    policy: &mut PolicyState,
+    which: Policy,
+    queues: &BTreeMap<u32, VecDeque<Waiting>>,
+    now: u64,
+) -> Option<u32> {
+    if which == Policy::Edf {
+        let backlogged: Vec<(u32, u64)> = queues
+            .iter()
+            .filter_map(|(&t, q)| {
+                q.iter()
+                    .filter(|w| w.eligible_at <= now)
+                    .map(|w| w.spec.deadline.unwrap_or(u64::MAX))
+                    .min()
+                    .map(|d| (t, d))
+            })
+            .collect();
+        policy.pick_edf(&backlogged)
+    } else {
+        let backlogged: Vec<u32> = queues
+            .iter()
+            .filter(|(_, q)| q.iter().any(|w| w.eligible_at <= now))
+            .map(|(&t, _)| t)
+            .collect();
+        policy.pick(&backlogged)
+    }
+}
+
+/// Index of the job to pop from the picked tenant's queue. EDF takes the
+/// eligible job with the earliest deadline (FIFO position breaks ties);
+/// every other policy takes the first eligible job — which, with no
+/// backoffs pending, is the front: exactly the pre-resilience pop.
+fn eligible_index(queue: &VecDeque<Waiting>, which: Policy, now: u64) -> Option<usize> {
+    match which {
+        Policy::Edf => queue
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.eligible_at <= now)
+            .min_by_key(|(i, w)| (w.spec.deadline.unwrap_or(u64::MAX), *i))
+            .map(|(i, _)| i),
+        _ => queue.iter().position(|w| w.eligible_at <= now),
+    }
+}
+
+/// Handles a serving-visible fault on `waiting`'s current incarnation:
+/// bumps the attempt, feeds the tenant's circuit breaker, and either
+/// requeues the job behind a deterministic exponential backoff or — with
+/// the retry budget exhausted — records a typed terminal failure. The
+/// live parked context dies with the incarnation; only a durable
+/// checkpoint survives into the retry.
+fn fault_job(
+    rcfg: &ResilienceConfig,
+    mut waiting: Waiting,
+    fault: JobFault,
+    now: u64,
+    queues: &mut BTreeMap<u32, VecDeque<Waiting>>,
+    state: &mut ResilState,
+) {
+    let tenant = waiting.spec.tenant;
+    waiting.parked = None;
+    waiting.attempt += 1;
+    if rcfg.breaker_threshold > 0
+        && state.breakers.entry(tenant).or_default().record_fault(
+            now,
+            rcfg.breaker_threshold,
+            rcfg.breaker_open_cycles,
+        )
+    {
+        state.breaker_opens += 1;
+        trace_event(now, EventKind::CircuitOpen, u64::from(tenant));
+    }
+    if waiting.attempt > rcfg.retry_budget {
+        state.failed.push(FailedJob {
+            id: waiting.spec.id,
+            tenant,
+            label: waiting.built.label.clone(),
+            arrival: waiting.spec.arrival,
+            attempts: waiting.attempt,
+            reason: FailReason::RetryBudgetExhausted {
+                budget: rcfg.retry_budget,
+                last: fault,
+            },
+        });
+        return;
+    }
+    *state.retries.entry(tenant).or_insert(0) += 1;
+    waiting.eligible_at = now + rcfg.backoff_after(waiting.attempt);
+    waiting.since_ckpt = 0;
+    trace_event(
+        now,
+        EventKind::JobRetry,
+        (u64::from(tenant) << 32) | u64::from(waiting.spec.id),
+    );
+    // Back of the tenant's queue: a faulted job does not jump ahead of
+    // work that arrived while it was burning its attempt.
+    queues.entry(tenant).or_default().push_back(waiting);
+}
+
 /// Admits every trace arrival at or before `now` into its tenant queue,
-/// building (or batch-sharing) the job on admission. Full queues reject.
+/// building (or batch-sharing) the job on admission. Arrivals shed at
+/// admission — open circuit breaker, global saturation, or full tenant
+/// queue — are counted by cause; nothing is silently dropped.
 #[allow(clippy::too_many_arguments)]
 fn admit(
     trace: &[JobSpec],
@@ -409,15 +815,30 @@ fn admit(
     now: u64,
     cache: &mut BuildCache,
     queues: &mut BTreeMap<u32, VecDeque<Waiting>>,
-    rejected: &mut BTreeMap<u32, u64>,
+    state: &mut ResilState,
+    rcfg: &ResilienceConfig,
     queue_cap: usize,
 ) -> Result<(), ServeError> {
     while *next_arrival < trace.len() && trace[*next_arrival].arrival <= now {
         let spec = trace[*next_arrival].clone();
         *next_arrival += 1;
+        if rcfg.breaker_threshold > 0 && state.breakers.entry(spec.tenant).or_default().is_open(now)
+        {
+            state.shed.entry(spec.tenant).or_default().circuit_open += 1;
+            trace_event(now, EventKind::TenantReject, u64::from(spec.tenant));
+            continue;
+        }
+        if rcfg.admit_cap > 0 {
+            let queued: usize = queues.values().map(VecDeque::len).sum();
+            if queued >= rcfg.admit_cap {
+                state.shed.entry(spec.tenant).or_default().saturated += 1;
+                trace_event(now, EventKind::TenantReject, u64::from(spec.tenant));
+                continue;
+            }
+        }
         let queue = queues.entry(spec.tenant).or_default();
         if queue.len() >= queue_cap.max(1) {
-            *rejected.entry(spec.tenant).or_insert(0) += 1;
+            state.shed.entry(spec.tenant).or_default().queue_full += 1;
             trace_event(now, EventKind::TenantReject, u64::from(spec.tenant));
             continue;
         }
@@ -429,9 +850,13 @@ fn admit(
             spec,
             built,
             parked: None,
+            checkpoint: None,
             first_start: None,
             service_cycles: 0,
             preemptions: 0,
+            attempt: 0,
+            eligible_at: 0,
+            since_ckpt: 0,
         });
         trace_event(now, EventKind::QueueDepth, queue.len() as u64);
     }

@@ -1,0 +1,377 @@
+//! The resilience layer's correctness anchor: a seeded chaos
+//! differential grid. Over fault kinds × slot counts × policies, every
+//! admitted job either completes with an outQ digest bit-identical to
+//! its solo fault-free run, or lands in a typed terminal state — and
+//! conservation holds exactly: admitted = completed + shed + failed.
+//! No silent loss, ever.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tmu_serve::{
+    serve, solo_digest, BuildCache, EntryDigest, FailReason, JobFault, JobKind, JobSpec,
+    KernelKind, Policy, ResilienceConfig, ServeConfig, ServeOutcome, Server, SlotFaultEvent,
+    SlotFaultKind, SlotFaultPlan, SlotFaultSpec,
+};
+
+/// A compact shape grid: enough variety to cross the main marshaling
+/// paths without making the chaos grid slow in debug CI.
+fn shapes() -> Vec<JobKind> {
+    vec![
+        JobKind::Kernel {
+            kind: KernelKind::Spmv,
+            rows: 96,
+            nnz_per_row: 4,
+            seed: 21,
+        },
+        JobKind::Kernel {
+            kind: KernelKind::Spmspm,
+            rows: 48,
+            nnz_per_row: 3,
+            seed: 23,
+        },
+        JobKind::Expr {
+            src: "y(i) = A(i,j:csr) * x(j)".into(),
+            rows: 48,
+            nnz_per_row: 3,
+            seed: 22,
+        },
+    ]
+}
+
+fn solo_references(shapes: &[JobKind]) -> HashMap<JobKind, EntryDigest> {
+    let mut cache = BuildCache::new();
+    shapes
+        .iter()
+        .map(|kind| {
+            let built = cache.get(kind).expect("shape builds");
+            let digest = solo_digest(&built, 0).expect("solo run drains");
+            (kind.clone(), digest)
+        })
+        .collect()
+}
+
+/// Two tenants, two copies of every shape, tight staggered arrivals,
+/// and a deadline on every job so the miss accounting gets exercised.
+fn chaos_trace(shapes: &[JobKind]) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (i, kind) in shapes.iter().enumerate() {
+        for copy in 0..2u32 {
+            let id = (i as u32) * 2 + copy;
+            jobs.push(JobSpec {
+                id,
+                tenant: copy,
+                arrival: u64::from(id) * 1_000,
+                weight: if copy == 0 { 3 } else { 1 },
+                deadline: Some(u64::from(id) * 1_000 + 30_000),
+                kind: kind.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Asserts the full chaos contract on one outcome: conservation, solo
+/// digest bit-identity for every completion, typed reasons for every
+/// terminal failure, and self-consistent deadline accounting.
+fn assert_chaos_contract(
+    out: &ServeOutcome,
+    trace: &[JobSpec],
+    reference: &HashMap<JobKind, EntryDigest>,
+    label: &str,
+) {
+    assert!(
+        out.conserves(trace.len()),
+        "{label}: {} completed + {} failed + {} shed != {} admitted",
+        out.outcomes.len(),
+        out.failed.len(),
+        out.shed_total(),
+        trace.len()
+    );
+    for o in &out.outcomes {
+        let spec = trace.iter().find(|j| j.id == o.id).expect("job in trace");
+        assert_eq!(
+            o.digest, reference[&spec.kind],
+            "{label}: job {} ({}) diverged from its solo run after {} retries",
+            o.id, o.label, o.retries
+        );
+    }
+    for f in &out.failed {
+        let FailReason::RetryBudgetExhausted { budget, .. } = f.reason;
+        assert!(
+            f.attempts > budget,
+            "{label}: job {} failed below its budget",
+            f.id
+        );
+    }
+    let missed = out.outcomes.iter().filter(|o| o.deadline_missed).count() as u64;
+    assert_eq!(
+        out.deadline_misses, missed,
+        "{label}: deadline-miss counter disagrees with per-job flags"
+    );
+}
+
+#[test]
+fn chaos_grid_conserves_and_matches_solo_digests() {
+    let shapes = shapes();
+    let reference = solo_references(&shapes);
+    let trace = chaos_trace(&shapes);
+    let mut injected_anywhere = 0u64;
+
+    for kind in SlotFaultKind::ALL {
+        for slots in [1usize, 2] {
+            for policy in [Policy::RoundRobin, Policy::WeightedFair, Policy::Edf] {
+                let cfg = ServeConfig {
+                    slots,
+                    quantum: 400,
+                    policy,
+                    ctx_switch_cycles: 250,
+                    resilience: ResilienceConfig {
+                        slot_faults: SlotFaultSpec {
+                            seed: 0xC4A05 ^ kind.bit() as u64,
+                            rate_per_1k: 150,
+                            kinds: kind.bit(),
+                            reboot_cycles: 1_000,
+                        },
+                        retry_budget: 6,
+                        backoff_base: 500,
+                        backoff_cap: 4_000,
+                        checkpoint_every: 600,
+                        ..ResilienceConfig::default()
+                    },
+                    ..ServeConfig::default()
+                };
+                let label = format!("{}/{slots} slots/{policy:?}", kind.name());
+                let out = serve(cfg, trace.clone()).expect("chaos run completes");
+                assert_chaos_contract(&out, &trace, &reference, &label);
+                injected_anywhere += out.slot_faults.injected;
+            }
+        }
+    }
+    assert!(
+        injected_anywhere > 0,
+        "the grid must actually inject slot faults, or it proves nothing"
+    );
+}
+
+#[test]
+fn scripted_crash_restarts_from_checkpoint_with_identical_digest() {
+    let shapes = shapes();
+    let reference = solo_references(&shapes);
+    let trace = vec![JobSpec {
+        id: 0,
+        tenant: 0,
+        arrival: 0,
+        weight: 1,
+        deadline: None,
+        kind: shapes[0].clone(),
+    }];
+    let cfg = ServeConfig {
+        slots: 1,
+        quantum: 300,
+        ctx_switch_cycles: 250,
+        resilience: ResilienceConfig {
+            checkpoint_every: 300,
+            retry_budget: 3,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(cfg);
+    // Crash on the third chaos consult: by then at least one periodic
+    // checkpoint has been saved, so the retry resumes mid-job.
+    server.inject_slot_plan(
+        0,
+        SlotFaultPlan::with_events(
+            SlotFaultSpec {
+                seed: 7,
+                rate_per_1k: 0,
+                kinds: SlotFaultKind::Crash.bit(),
+                reboot_cycles: 2_000,
+            },
+            vec![SlotFaultEvent {
+                at_quantum: 2,
+                kind: SlotFaultKind::Crash,
+            }],
+        ),
+    );
+    let out = server.run(trace.clone()).expect("run completes");
+    assert_chaos_contract(&out, &trace, &reference, "scripted crash");
+    assert_eq!(out.outcomes.len(), 1, "the job must survive the crash");
+    assert_eq!(out.outcomes[0].retries, 1, "exactly one retry");
+    assert_eq!(out.slot_faults.crashes, 1);
+    assert!(
+        out.checkpoints >= 1,
+        "a checkpoint must have been saved before the crash"
+    );
+    assert!(
+        out.checkpoint_cycles_total() > 0,
+        "checkpointing must cost accounted cycles"
+    );
+    assert_eq!(out.slots[0].reboots, 1, "the slot must have rebooted once");
+    assert_eq!(out.retries_total(), 1);
+}
+
+#[test]
+fn retry_budget_exhaustion_is_a_typed_terminal_failure() {
+    let shapes = shapes();
+    let trace = vec![JobSpec {
+        id: 0,
+        tenant: 0,
+        arrival: 0,
+        weight: 1,
+        deadline: None,
+        kind: shapes[0].clone(),
+    }];
+    let cfg = ServeConfig {
+        slots: 1,
+        quantum: 200,
+        resilience: ResilienceConfig {
+            // Crash on every consulted quantum: the job can never finish.
+            slot_faults: SlotFaultSpec {
+                seed: 3,
+                rate_per_1k: 1_000,
+                kinds: SlotFaultKind::Crash.bit(),
+                reboot_cycles: 500,
+            },
+            retry_budget: 2,
+            backoff_base: 1_000,
+            backoff_cap: 8_000,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let out = serve(cfg, trace.clone()).expect("run terminates");
+    assert!(out.outcomes.is_empty(), "the job cannot complete");
+    assert_eq!(
+        out.failed.len(),
+        1,
+        "it must land in the typed Failed state"
+    );
+    let f = &out.failed[0];
+    assert_eq!((f.id, f.tenant, f.attempts), (0, 0, 3));
+    assert_eq!(
+        f.reason,
+        FailReason::RetryBudgetExhausted {
+            budget: 2,
+            last: JobFault::SlotCrash,
+        }
+    );
+    assert!(out.conserves(trace.len()));
+    assert_eq!(out.retries_total(), 2, "both budgeted retries were spent");
+}
+
+#[test]
+fn circuit_breaker_sheds_arrivals_while_open() {
+    let shapes = shapes();
+    let mk = |id: u32, arrival: u64| JobSpec {
+        id,
+        tenant: 0,
+        arrival,
+        weight: 1,
+        deadline: None,
+        kind: shapes[0].clone(),
+    };
+    // Job 0 faults immediately and terminally (budget 0); the breaker
+    // trips on that fault and the three later arrivals shed at admission.
+    let trace = vec![mk(0, 0), mk(1, 50_000), mk(2, 50_000), mk(3, 60_000)];
+    let cfg = ServeConfig {
+        slots: 1,
+        quantum: 200,
+        resilience: ResilienceConfig {
+            slot_faults: SlotFaultSpec {
+                seed: 11,
+                rate_per_1k: 1_000,
+                kinds: SlotFaultKind::Crash.bit(),
+                reboot_cycles: 500,
+            },
+            retry_budget: 0,
+            breaker_threshold: 1,
+            breaker_open_cycles: 10_000_000,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let out = serve(cfg, trace.clone()).expect("run terminates");
+    assert_eq!(out.failed.len(), 1);
+    assert_eq!(out.breaker_opens, 1, "the breaker must trip exactly once");
+    let shed = out.shed.get(&0).expect("tenant 0 shed arrivals");
+    assert_eq!(shed.circuit_open, 3, "all later arrivals shed while open");
+    assert!(out.conserves(trace.len()));
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let shapes = shapes();
+    let trace = chaos_trace(&shapes);
+    let cfg = ServeConfig {
+        slots: 2,
+        quantum: 400,
+        policy: Policy::WeightedFair,
+        resilience: ResilienceConfig {
+            slot_faults: SlotFaultSpec::with_rate(0xDE7E12, 200),
+            checkpoint_every: 500,
+            retry_budget: 5,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let a = serve(cfg, trace.clone()).expect("first run");
+    let b = serve(cfg, trace).expect("second run");
+    assert_eq!(a.outcomes, b.outcomes, "same seed must serve identically");
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.slot_faults, b.slot_faults);
+    assert_eq!(a.makespan, b.makespan);
+    assert!(
+        a.slot_faults.injected > 0,
+        "the determinism check must cover actual injections"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random chaos schedules: whatever the rate, kind mask, quantum,
+    /// slot count, policy, checkpoint cadence, and retry budget, the
+    /// conservation and digest-identity invariants hold.
+    #[test]
+    fn random_chaos_schedules_conserve_and_preserve_digests(
+        (seed, rate, kinds, reboot) in (0u64..u64::MAX, 50u32..400, 1u8..8, 200u64..3_000),
+        (quantum, slots, policy_ix) in (150u64..1_200, 1usize..3, 0usize..3),
+        (ckpt_every, budget) in (0u64..1_500, 0u32..5),
+    ) {
+        let shapes = shapes();
+        let reference = solo_references(&shapes);
+        let trace = chaos_trace(&shapes);
+        let policy = [Policy::RoundRobin, Policy::WeightedFair, Policy::Edf][policy_ix];
+        let cfg = ServeConfig {
+            slots,
+            quantum,
+            policy,
+            ctx_switch_cycles: 250,
+            resilience: ResilienceConfig {
+                slot_faults: SlotFaultSpec {
+                    seed,
+                    rate_per_1k: rate,
+                    kinds,
+                    reboot_cycles: reboot,
+                },
+                retry_budget: budget,
+                backoff_base: 400,
+                backoff_cap: 6_000,
+                checkpoint_every: ckpt_every,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(cfg, trace.clone()).expect("chaos run completes");
+        prop_assert!(out.conserves(trace.len()),
+            "{} completed + {} failed + {} shed != {} admitted",
+            out.outcomes.len(), out.failed.len(), out.shed_total(), trace.len());
+        for o in &out.outcomes {
+            let spec = trace.iter().find(|j| j.id == o.id).expect("job in trace");
+            prop_assert_eq!(o.digest, reference[&spec.kind],
+                "job {} diverged under random chaos", o.id);
+        }
+    }
+}

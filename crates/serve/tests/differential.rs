@@ -82,6 +82,7 @@ fn grid_trace(shapes: &[JobKind]) -> Vec<JobSpec> {
                 // Tight arrivals: everything lands early, forcing queueing.
                 arrival: u64::from(id) * 1_000,
                 weight: if copy == 0 { 3 } else { 1 },
+                deadline: None,
                 kind: kind.clone(),
             });
         }
@@ -166,6 +167,7 @@ fn serving_is_deterministic_for_a_fixed_seed() {
         mean_gap: 10_000,
         seed: 42,
         with_exprs: true,
+        deadline_slack: 0,
     };
     let cfg = ServeConfig {
         slots: 2,
@@ -196,6 +198,7 @@ fn bounded_queues_reject_when_full() {
             tenant: 0,
             arrival: 0,
             weight: 1,
+            deadline: None,
             kind: kind.clone(),
         })
         .collect();

@@ -139,6 +139,25 @@ impl FaultSpec {
     pub fn enables(&self, kind: FaultKind) -> bool {
         self.kinds & kind.bit() != 0
     }
+
+    /// The same spec with the seed re-derived for retry `attempt`.
+    ///
+    /// A job restarted after a serving-visible failure must not replay the
+    /// exact fault schedule that killed it — a rate-based plan would
+    /// otherwise deterministically re-kill the job on every attempt.
+    /// Folding the attempt ordinal through a SplitMix64 scramble gives
+    /// each incarnation its own decorrelated stream while keeping the
+    /// whole retry sequence a pure function of `(seed, attempt)`.
+    /// Attempt 0 is the identity, so first runs stay byte-identical to
+    /// the configured spec.
+    pub fn for_attempt(&self, attempt: u32) -> Self {
+        if attempt == 0 || !self.is_active() {
+            return *self;
+        }
+        let mut state = self.seed ^ u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
+        let seed = splitmix64(&mut state);
+        Self { seed, ..*self }
+    }
 }
 
 impl Default for FaultSpec {
@@ -356,6 +375,248 @@ impl FaultPlan {
     }
 }
 
+/// Serving-visible slot failures. Where [`FaultKind`] perturbs one engine
+/// *inside* a run (and the engine recovers transparently), a slot fault
+/// takes out the fault domain the engine runs in: the serving scheduler —
+/// not the engine — must react, by restarting the victim job elsewhere or
+/// declaring it failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotFaultKind {
+    /// The slot dies outright: core, memory hierarchy, and the engine
+    /// incarnation on it are lost. The slot reboots after a configured
+    /// delay; the job restarts from its last checkpoint (or from scratch).
+    Crash,
+    /// The slot wedges: no forward progress until the progress watchdog
+    /// fires. The job's incarnation is lost, the slot burns one watchdog
+    /// window, then reboots.
+    Hang,
+    /// The TMU on the slot degrades to unserviceable mid-job (the §5.6
+    /// OS refuses further fault service). The slot survives; the job's
+    /// incarnation is lost.
+    Degrade,
+}
+
+impl SlotFaultKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [SlotFaultKind; 3] = [
+        SlotFaultKind::Crash,
+        SlotFaultKind::Hang,
+        SlotFaultKind::Degrade,
+    ];
+
+    /// Stable bitmask bit for [`SlotFaultSpec::kinds`].
+    pub fn bit(self) -> u8 {
+        match self {
+            SlotFaultKind::Crash => 1 << 0,
+            SlotFaultKind::Hang => 1 << 1,
+            SlotFaultKind::Degrade => 1 << 2,
+        }
+    }
+
+    /// Stable display name (stats dumps, trace payload docs, bench text).
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotFaultKind::Crash => "crash",
+            SlotFaultKind::Hang => "hang",
+            SlotFaultKind::Degrade => "degrade",
+        }
+    }
+}
+
+/// Declarative slot-fault configuration. Plain `Copy` data so it can ride
+/// inside a serving configuration the way [`FaultSpec`] rides in
+/// `TmuConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotFaultSpec {
+    /// Seed of the injection schedule (combined with a per-slot salt).
+    pub seed: u64,
+    /// Expected injected slot faults per 1 000 completed scheduling
+    /// quanta; 0 disables rate-based injection entirely.
+    pub rate_per_1k: u32,
+    /// Bitmask of enabled [`SlotFaultKind`]s (see [`SlotFaultKind::bit`]).
+    pub kinds: u8,
+    /// Cycles a crashed or hung slot stays down before it reboots.
+    pub reboot_cycles: u64,
+}
+
+impl SlotFaultSpec {
+    /// No slot faults at all — the default; serving behaviour is
+    /// byte-identical to the pre-resilience scheduler.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            rate_per_1k: 0,
+            kinds: 0,
+            reboot_cycles: 0,
+        }
+    }
+
+    /// Rate-based injection of every slot-fault kind with a 2 000-cycle
+    /// reboot penalty.
+    pub fn with_rate(seed: u64, rate_per_1k: u32) -> Self {
+        Self {
+            seed,
+            rate_per_1k,
+            kinds: SlotFaultKind::ALL.iter().fold(0, |m, k| m | k.bit()),
+            reboot_cycles: 2_000,
+        }
+    }
+
+    /// Whether this spec can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.rate_per_1k > 0 && self.kinds != 0
+    }
+
+    /// Whether `kind` is enabled.
+    pub fn enables(&self, kind: SlotFaultKind) -> bool {
+        self.kinds & kind.bit() != 0
+    }
+}
+
+impl Default for SlotFaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One scripted slot fault: `kind` fires when the plan is consulted for
+/// the `at_quantum`-th time (0-based). Tests pin exact failure points
+/// with this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotFaultEvent {
+    /// 0-based ordinal of the consultation ([`SlotFaultPlan::on_quantum`]
+    /// call) at which the fault fires.
+    pub at_quantum: u64,
+    /// What is injected.
+    pub kind: SlotFaultKind,
+}
+
+/// Counters of injected (or observed) slot faults, aggregated by the
+/// serving layer across all slots of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotFaultStats {
+    /// Total slot faults (all kinds).
+    pub injected: u64,
+    /// Slot crashes.
+    pub crashes: u64,
+    /// Slot hangs (watchdog-caught).
+    pub hangs: u64,
+    /// TMU-unserviceable degrades.
+    pub degrades: u64,
+}
+
+impl SlotFaultStats {
+    /// Records one slot fault of `kind`.
+    pub fn record(&mut self, kind: SlotFaultKind) {
+        self.injected += 1;
+        match kind {
+            SlotFaultKind::Crash => self.crashes += 1,
+            SlotFaultKind::Hang => self.hangs += 1,
+            SlotFaultKind::Degrade => self.degrades += 1,
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &SlotFaultStats) {
+        self.injected += other.injected;
+        self.crashes += other.crashes;
+        self.hangs += other.hangs;
+        self.degrades += other.degrades;
+    }
+}
+
+/// A deterministic slot-fault schedule consumed by one serving slot. The
+/// scheduler consults it once per completed scheduling quantum that left
+/// a job unfinished on the slot ([`SlotFaultPlan::on_quantum`]).
+#[derive(Debug, Clone)]
+pub struct SlotFaultPlan {
+    spec: SlotFaultSpec,
+    rng: u64,
+    events: Vec<SlotFaultEvent>,
+    fired: Vec<bool>,
+    quanta_seen: u64,
+    /// Running injection counters for this slot.
+    pub stats: SlotFaultStats,
+}
+
+impl SlotFaultPlan {
+    /// A rate-based plan from `spec`; `slot_salt` (the slot index)
+    /// decorrelates slots sharing one spec. Returns `None` for an
+    /// inactive spec so fault-free serving carries no plan at all.
+    pub fn from_spec(spec: SlotFaultSpec, slot_salt: u64) -> Option<Self> {
+        if !spec.is_active() {
+            return None;
+        }
+        Some(Self {
+            spec,
+            rng: spec.seed ^ slot_salt.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            events: Vec::new(),
+            fired: Vec::new(),
+            quanta_seen: 0,
+            stats: SlotFaultStats::default(),
+        })
+    }
+
+    /// A scripted plan firing exactly `events`; `spec` supplies the
+    /// reboot penalty, its rate is ignored.
+    pub fn with_events(spec: SlotFaultSpec, events: Vec<SlotFaultEvent>) -> Self {
+        let fired = vec![false; events.len()];
+        Self {
+            spec,
+            rng: spec.seed,
+            events,
+            fired,
+            quanta_seen: 0,
+            stats: SlotFaultStats::default(),
+        }
+    }
+
+    /// The reboot/rate parameters of this plan.
+    pub fn spec(&self) -> &SlotFaultSpec {
+        &self.spec
+    }
+
+    /// Consulted once per completed scheduling quantum that left a job
+    /// running on the slot. Returns the slot fault to inject now, if any,
+    /// and records it.
+    pub fn on_quantum(&mut self) -> Option<SlotFaultKind> {
+        let ordinal = self.quanta_seen;
+        self.quanta_seen += 1;
+        let scripted = self
+            .events
+            .iter()
+            .enumerate()
+            .find(|(i, ev)| !self.fired[*i] && ev.at_quantum == ordinal)
+            .map(|(i, ev)| (i, ev.kind));
+        let kind = match scripted {
+            Some((i, kind)) => {
+                self.fired[i] = true;
+                Some(kind)
+            }
+            None => {
+                let rate = u64::from(self.spec.rate_per_1k);
+                if rate > 0 && splitmix64(&mut self.rng) % 1_000 < rate {
+                    let enabled: Vec<SlotFaultKind> = SlotFaultKind::ALL
+                        .iter()
+                        .copied()
+                        .filter(|&k| self.spec.enables(k))
+                        .collect();
+                    if enabled.is_empty() {
+                        None
+                    } else {
+                        let i = (splitmix64(&mut self.rng) % enabled.len() as u64) as usize;
+                        Some(enabled[i])
+                    }
+                } else {
+                    None
+                }
+            }
+        }?;
+        self.stats.record(kind);
+        Some(kind)
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)] // test-only: unwraps on known-Some fixtures
 mod tests {
@@ -417,5 +678,105 @@ mod tests {
         assert!(kinds.iter().all(|&k| k == FaultKind::DramRetry));
         assert_eq!(plan.stats.dram_retries as usize, kinds.len());
         assert_eq!(plan.stats.page_faults, 0);
+    }
+
+    /// Satellite pin: each retry attempt derives its own fault stream.
+    /// Attempt 0 is the identity; attempts 1.. decorrelate the schedule
+    /// deterministically, so a rate-based plan cannot re-kill the same
+    /// job with the same schedule forever.
+    #[test]
+    fn retry_attempts_derive_distinct_deterministic_seeds() {
+        let spec = FaultSpec::with_rate(41, 5_000);
+        assert_eq!(spec.for_attempt(0), spec, "attempt 0 is the identity");
+        // The derivation is a pure function of (seed, attempt)...
+        assert_eq!(spec.for_attempt(3), spec.for_attempt(3));
+        // ...and distinct attempts get distinct seeds (hence schedules).
+        let seeds: Vec<u64> = (0..5).map(|a| spec.for_attempt(a).seed).collect();
+        for i in 0..seeds.len() {
+            for j in (i + 1)..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "attempts {i} and {j} collide");
+            }
+        }
+        // Everything but the seed is preserved.
+        let derived = spec.for_attempt(2);
+        assert_eq!(derived.rate_per_100k, spec.rate_per_100k);
+        assert_eq!(derived.kinds, spec.kinds);
+        assert_eq!(derived.max_serviced, spec.max_serviced);
+        // The derived stream really is a different schedule.
+        let schedule = |s: FaultSpec| -> Vec<Option<FaultKind>> {
+            let mut plan = FaultPlan::from_spec(s, 0).unwrap();
+            (0..1_000).map(|_| plan.on_load()).collect()
+        };
+        assert_ne!(schedule(spec), schedule(spec.for_attempt(1)));
+        // Inactive specs stay untouched (keeps fault-free configs stable).
+        assert_eq!(FaultSpec::none().for_attempt(7), FaultSpec::none());
+    }
+
+    #[test]
+    fn inactive_slot_spec_builds_no_plan() {
+        assert!(SlotFaultPlan::from_spec(SlotFaultSpec::none(), 0).is_none());
+        assert!(SlotFaultSpec::none() == SlotFaultSpec::default());
+        assert!(!SlotFaultSpec::none().is_active());
+        assert!(SlotFaultSpec::with_rate(1, 10).is_active());
+    }
+
+    #[test]
+    fn scripted_slot_events_fire_once_at_their_quantum() {
+        let spec = SlotFaultSpec {
+            seed: 0,
+            rate_per_1k: 0,
+            kinds: 0,
+            reboot_cycles: 100,
+        };
+        let mut plan = SlotFaultPlan::with_events(
+            spec,
+            vec![
+                SlotFaultEvent {
+                    at_quantum: 1,
+                    kind: SlotFaultKind::Crash,
+                },
+                SlotFaultEvent {
+                    at_quantum: 3,
+                    kind: SlotFaultKind::Degrade,
+                },
+            ],
+        );
+        assert_eq!(plan.on_quantum(), None);
+        assert_eq!(plan.on_quantum(), Some(SlotFaultKind::Crash));
+        assert_eq!(plan.on_quantum(), None, "events fire once");
+        assert_eq!(plan.on_quantum(), Some(SlotFaultKind::Degrade));
+        assert_eq!(plan.on_quantum(), None);
+        assert_eq!(plan.stats.injected, 2);
+        assert_eq!(plan.stats.crashes, 1);
+        assert_eq!(plan.stats.degrades, 1);
+    }
+
+    #[test]
+    fn rate_slot_plans_are_deterministic_and_slot_decorrelated() {
+        let run = |seed: u64, slot: u64| -> Vec<Option<SlotFaultKind>> {
+            let mut plan = SlotFaultPlan::from_spec(SlotFaultSpec::with_rate(seed, 100), slot)
+                .expect("active spec");
+            (0..1_000).map(|_| plan.on_quantum()).collect()
+        };
+        assert_eq!(run(9, 0), run(9, 0), "same seed ⇒ same schedule");
+        assert_ne!(run(9, 0), run(10, 0), "seed changes the schedule");
+        assert_ne!(run(9, 0), run(9, 1), "slot salt decorrelates slots");
+        let injected = run(9, 0).iter().flatten().count();
+        assert!(
+            (40..250).contains(&injected),
+            "10% rate over 1000 quanta ≈ 100 faults, got {injected}"
+        );
+    }
+
+    #[test]
+    fn slot_kind_mask_filters_injection() {
+        let mut spec = SlotFaultSpec::with_rate(5, 500);
+        spec.kinds = SlotFaultKind::Hang.bit();
+        let mut plan = SlotFaultPlan::from_spec(spec, 0).unwrap();
+        let kinds: Vec<SlotFaultKind> = (0..400).filter_map(|_| plan.on_quantum()).collect();
+        assert!(!kinds.is_empty());
+        assert!(kinds.iter().all(|&k| k == SlotFaultKind::Hang));
+        assert_eq!(plan.stats.hangs as usize, kinds.len());
+        assert_eq!(plan.stats.crashes, 0);
     }
 }

@@ -60,7 +60,10 @@ pub use bpred::BranchPredictor;
 pub use cache::{Cache, CacheConfig, MshrPool, Probe};
 pub use core::{Core, CoreConfig, CoreStats, OpSource, SliceSource};
 pub use dram::{Dram, DramConfig};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTrigger};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTrigger, SlotFaultEvent,
+    SlotFaultKind, SlotFaultPlan, SlotFaultSpec, SlotFaultStats,
+};
 pub use machine::{CountingMachine, Machine, VecMachine};
 pub use memsys::{MemSys, MemSysConfig};
 pub use noc::Mesh;

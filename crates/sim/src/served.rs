@@ -44,6 +44,9 @@ pub struct SlotStats {
     pub segments_finished: u64,
     /// Preemptions (quanta that expired with work still in flight).
     pub preemptions: u64,
+    /// Times the slot was rebooted after a crash or hang (fresh core and
+    /// memory hierarchy; the clock stays monotonic).
+    pub reboots: u64,
     /// Busy cycles attributed per tenant id (deterministic order).
     pub tenant_cycles: BTreeMap<u32, u64>,
 }
@@ -60,12 +63,16 @@ pub struct ServedCore {
     stats: SlotStats,
     acks: Vec<u32>,
     scratch: Vec<Op>,
+    slot: usize,
+    core_cfg: CoreConfig,
+    mem_cfg: MemSysConfig,
 }
 
 impl ServedCore {
     /// Builds a slot from a core and memory configuration. The memory
     /// configuration should describe a single-core hierarchy (the slot
-    /// owns it exclusively).
+    /// owns it exclusively). Both configurations are retained so the slot
+    /// can [`reboot`](Self::reboot) after a fault.
     pub fn new(core: CoreConfig, mem: MemSysConfig) -> Self {
         Self {
             core: Core::new(0, core),
@@ -76,12 +83,26 @@ impl ServedCore {
             stats: SlotStats::default(),
             acks: Vec::new(),
             scratch: Vec::new(),
+            slot: 0,
+            core_cfg: core,
+            mem_cfg: mem,
         }
     }
 
     /// The slot's current simulated cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Names the slot for diagnostics: the id shows up in watchdog dumps
+    /// so a serving-layer hang identifies its fault domain.
+    pub fn set_slot(&mut self, slot: usize) {
+        self.slot = slot;
+    }
+
+    /// The slot id (see [`set_slot`](Self::set_slot)).
+    pub fn slot(&self) -> usize {
+        self.slot
     }
 
     /// The slot's accumulated statistics.
@@ -178,6 +199,54 @@ impl ServedCore {
         Ok(out.cycles)
     }
 
+    /// Rebuilds the slot after a crash or hang: fresh core and memory
+    /// hierarchy from the retained configurations, all in-flight state of
+    /// the dead incarnation discarded. The clock stays monotonic and
+    /// skips forward to `restart_at` (the configured reboot delay).
+    pub fn reboot(&mut self, restart_at: u64) {
+        self.core = Core::new(0, self.core_cfg);
+        self.mem = MemSys::new(self.mem_cfg);
+        self.source = AccelSource::default();
+        self.acks.clear();
+        self.scratch.clear();
+        self.stats.reboots += 1;
+        self.skip_idle_to(restart_at);
+    }
+
+    /// Discards the op stream and core pipeline state of a dead engine
+    /// incarnation without rebooting the slot (caches stay warm, no
+    /// penalty). Required before reusing a slot whose engine was torn
+    /// down mid-quantum: the core may still hold that engine's chunk-end
+    /// markers, and letting them drain would ack chunks the *next*
+    /// incarnation hasn't produced.
+    pub fn flush_inflight(&mut self) {
+        self.core = Core::new(0, self.core_cfg);
+        self.source = AccelSource::default();
+        self.acks.clear();
+        self.scratch.clear();
+    }
+
+    /// Simulates a slot hang caught by the progress watchdog: the slot
+    /// burns one full watchdog window with no forward progress (the
+    /// cycles are attributed to `tenant`, whose job occupied the slot),
+    /// then reports the same typed [`SimError::Watchdog`] — including
+    /// the diagnostic dump — that a genuine wedge inside
+    /// [`drive`](Self::drive) produces. The caller decides what survives:
+    /// typically it discards the engine and [`reboot`](Self::reboot)s.
+    pub fn hang(&mut self, accel: &dyn Accelerator, tenant: u32) -> SimError {
+        let window = self.watchdog_cycles;
+        self.core.account_gap(window);
+        self.now += window;
+        self.stats.busy_cycles += window;
+        *self.stats.tenant_cycles.entry(tenant).or_insert(0) += window;
+        let dump = self.dump_state(accel, tenant);
+        SimError::Watchdog {
+            cycle: self.now,
+            window,
+            dump,
+        }
+    }
+
     fn outcome(&mut self, start: u64, tenant: u32, finished: bool) -> DriveOutcome {
         let cycles = self.now - start;
         self.stats.busy_cycles += cycles;
@@ -195,8 +264,8 @@ impl ServedCore {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "-- served-core watchdog dump @ cycle {} (tenant {tenant}) --",
-            self.now
+            "-- served-core watchdog dump @ cycle {} (slot {}, tenant {tenant}) --",
+            self.now, self.slot
         );
         let _ = writeln!(
             s,
@@ -314,13 +383,74 @@ mod tests {
     fn watchdog_fires_inside_a_drive() {
         let mut s = slot();
         s.set_watchdog(5_000);
+        s.set_slot(2);
         match s.drive(&mut Wedged, 3, u64::MAX) {
             Err(SimError::Watchdog { window, dump, .. }) => {
                 assert_eq!(window, 5_000);
                 assert!(dump.contains("wedged-tenant-job"));
-                assert!(dump.contains("tenant 3"));
+                // Satellite pin: the dump names the fault domain — slot
+                // id and tenant id — not just the system.
+                assert!(dump.contains("slot 2"), "dump names the slot:\n{dump}");
+                assert!(dump.contains("tenant 3"), "dump names the tenant:\n{dump}");
             }
             other => panic!("expected watchdog, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_hang_burns_one_window_and_types_the_error() {
+        let mut s = slot();
+        s.set_watchdog(5_000);
+        s.set_slot(1);
+        let before = s.now();
+        match s.hang(&Wedged, 4) {
+            SimError::Watchdog {
+                cycle,
+                window,
+                dump,
+            } => {
+                assert_eq!(window, 5_000);
+                assert_eq!(cycle, before + 5_000);
+                assert!(dump.contains("slot 1"));
+                assert!(dump.contains("tenant 4"));
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
+        assert_eq!(s.now(), before + 5_000);
+        assert_eq!(s.stats().busy_cycles, 5_000, "hang cycles count as busy");
+        assert_eq!(s.stats().tenant_cycles.get(&4).copied(), Some(5_000));
+    }
+
+    #[test]
+    fn reboot_keeps_the_clock_monotonic_and_the_slot_usable() {
+        let mut s = slot();
+        let mut accel = Ticker { left: 200, next: 0 };
+        let out = s.drive(&mut accel, 1, 50).expect("no wedge");
+        assert!(!out.finished);
+        let crashed_at = s.now();
+        // The engine incarnation dies with the slot; reboot and prove the
+        // fresh core/mem can still run a job to completion.
+        s.reboot(crashed_at + 2_000);
+        assert_eq!(s.stats().reboots, 1);
+        assert_eq!(s.now(), crashed_at + 2_000, "reboot delay is idle time");
+        let mut fresh = Ticker { left: 40, next: 0 };
+        let out = s.drive(&mut fresh, 1, u64::MAX).expect("no wedge");
+        assert!(out.finished, "a rebooted slot serves again");
+        assert!(s.now() > crashed_at + 2_000);
+    }
+
+    #[test]
+    fn flush_inflight_discards_the_dead_incarnations_ops() {
+        let mut s = slot();
+        let mut accel = Ticker { left: 300, next: 0 };
+        let out = s.drive(&mut accel, 6, 40).expect("no wedge");
+        assert!(!out.finished, "ops still in flight when the engine dies");
+        s.flush_inflight();
+        assert_eq!(s.stats().reboots, 0, "a flush is not a reboot");
+        // A fresh incarnation on the same slot must drain on its own ops
+        // only — nothing left over from the dead one.
+        let mut fresh = Ticker { left: 10, next: 0 };
+        let out = s.drive(&mut fresh, 6, u64::MAX).expect("no wedge");
+        assert!(out.finished);
     }
 }

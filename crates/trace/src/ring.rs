@@ -63,6 +63,22 @@ pub enum EventKind {
     /// A tenant's admission queue rejected an arrival — the bounded queue
     /// was full (payload: tenant id).
     TenantReject,
+    /// A serving slot crashed and will reboot — the job incarnation on it
+    /// is lost (payload: slot id).
+    SlotCrash,
+    /// A faulted job was re-queued for another attempt after its backoff
+    /// window (payload: `tenant << 32 | job id`).
+    JobRetry,
+    /// The scheduler saved a periodic job-level checkpoint — quiesce,
+    /// context snapshot, resume in place (payload: `tenant << 32 | job id`).
+    CheckpointSave,
+    /// A job completed after its deadline (payload:
+    /// `tenant << 32 | job id`).
+    DeadlineMiss,
+    /// A tenant's circuit breaker opened: its jobs faulted repeatedly and
+    /// new arrivals are shed until the breaker cools down (payload:
+    /// tenant id).
+    CircuitOpen,
     /// The blocked backend materialized one BCSR tile from the CSR fibers
     /// (payload: `block_row << 32 | block_col`).
     TileExtract,
@@ -153,6 +169,11 @@ impl EventKind {
             EventKind::TenantPreempt => "tenant_preempt",
             EventKind::TenantComplete => "tenant_complete",
             EventKind::TenantReject => "tenant_reject",
+            EventKind::SlotCrash => "slot_crash",
+            EventKind::JobRetry => "job_retry",
+            EventKind::CheckpointSave => "checkpoint_save",
+            EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::CircuitOpen => "circuit_open",
             EventKind::TileExtract => "tile_extract",
             EventKind::StreamToken => "stream_token",
             EventKind::MergerStall => "merger_stall",

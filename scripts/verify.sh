@@ -60,4 +60,19 @@ TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=rr \
 TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=wf \
     cargo run --release -q -p tmu-bench --bin serve
 
+echo "== resilience: chaos differential suite + grid smoke + knob-exercising serve =="
+# Slot faults (crash/hang/degrade) × slot counts × policies: every
+# admitted job completes with a bit-identical solo digest or lands in a
+# typed terminal state, and admitted = completed + shed + failed holds
+# exactly. Includes the proptest over random chaos schedules.
+cargo test -q --release -p tmu-serve --test chaos
+# Reduced grid through the standalone bin; exits nonzero on any
+# LOST/DIVERGED cell or if no fault was injected anywhere.
+TMU_SCALE=0.05 cargo run --release -q -p tmu-bench --bin chaos
+# The serve bin's resilience knobs must parse and run end-to-end
+# (validated through parse_pos_int like every other knob).
+TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=edf \
+    TMU_CHAOS=150 TMU_RETRY_BUDGET=5 TMU_CHECKPOINT_EVERY=600 \
+    cargo run --release -q -p tmu-bench --bin serve
+
 echo "verify.sh: all gates passed"
