@@ -1,0 +1,230 @@
+//! The pipeline DAG model: named tensor edges between compiled stages.
+//!
+//! A [`PipelineDag`] describes **one round** of an application: each
+//! [`StageSpec`] names its input tensors, its output tensor, and the
+//! operation ([`StageOp`]) that maps one to the other. The executor
+//! (`exec`) walks the DAG in deterministic ready order — lowest-index
+//! stage whose inputs are all materialized — so two runs of the same
+//! spec dispatch the same stage sequence regardless of scheduling.
+//! Iterative applications (CG, PageRank) re-run the same DAG every
+//! round with host logic rewriting the seed edges in between.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use tmu_tensor::CsrMatrix;
+
+/// A materialized tensor travelling along a DAG edge.
+#[derive(Debug, Clone)]
+pub enum TensorVal {
+    /// A sparse matrix (CSR).
+    Csr(Arc<CsrMatrix>),
+    /// A dense vector or row-major dense matrix.
+    Dense(Arc<Vec<f64>>),
+    /// A sparse coordinate map (the `tmu-front` functional result shape).
+    Coords(Arc<BTreeMap<Vec<u32>, f64>>),
+}
+
+impl TensorVal {
+    /// The CSR payload, or an error naming the edge.
+    pub fn as_csr(&self, edge: &str) -> Result<&Arc<CsrMatrix>, String> {
+        match self {
+            TensorVal::Csr(m) => Ok(m),
+            _ => Err(format!("edge '{edge}' is not a sparse matrix")),
+        }
+    }
+
+    /// The dense payload, or an error naming the edge.
+    pub fn as_dense(&self, edge: &str) -> Result<&Arc<Vec<f64>>, String> {
+        match self {
+            TensorVal::Dense(v) => Ok(v),
+            _ => Err(format!("edge '{edge}' is not dense")),
+        }
+    }
+}
+
+/// The operation a stage runs on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOp {
+    /// `S = A .* (U · Vᵀ)`: sampled dense-dense product over the sparse
+    /// pattern of input 0. Output is CSR with input 0's pattern.
+    Sddmm,
+    /// `Z = S · B`: sparse × dense-RANK product of input 0. Output is a
+    /// dense row-major `rows × RANK` matrix.
+    SpmmDense,
+    /// `q = M · p`: input 0 (CSR) times input 1 (dense vector).
+    SpmvVec,
+    /// One PageRank gather iteration: input 0 is the in-adjacency CSR,
+    /// input 1 the current rank vector; output the next rank vector.
+    PrGather,
+    /// A `tmu-front` einsum expression compiled over input 0 as the base
+    /// matrix. Output is the functional coordinate map.
+    Expr {
+        /// Expression source, e.g. `"y(i) = A(i,j:csr) * x(j)"`.
+        src: String,
+    },
+}
+
+impl StageOp {
+    /// Stable display name, used in records and bench rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageOp::Sddmm => "sddmm",
+            StageOp::SpmmDense => "spmm",
+            StageOp::SpmvVec => "spmv",
+            StageOp::PrGather => "gather",
+            StageOp::Expr { .. } => "expr",
+        }
+    }
+}
+
+/// One stage of a pipeline round.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// Stage name (unique within the DAG; used in trace and bench rows).
+    pub name: String,
+    /// Names of the input tensor edges, in operand order.
+    pub inputs: Vec<String>,
+    /// Name of the output tensor edge.
+    pub output: String,
+    /// What the stage computes.
+    pub op: StageOp,
+}
+
+/// A DAG of stages connected by named tensor edges.
+#[derive(Debug, Clone)]
+pub struct PipelineDag {
+    /// The stages, in declaration order (ready-order tie-break).
+    pub stages: Vec<StageSpec>,
+}
+
+impl PipelineDag {
+    /// Validates the DAG against the set of seed edges the application
+    /// materializes before round 1: stage names and outputs must be
+    /// unique, no output may shadow a seed, and simulating ready-order
+    /// execution from the seeds must fire every stage (i.e. the graph is
+    /// acyclic and fully connected to its inputs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn validate(&self, seeds: &BTreeSet<String>) -> Result<(), String> {
+        let mut names = BTreeSet::new();
+        let mut avail = seeds.clone();
+        for s in &self.stages {
+            if !names.insert(s.name.clone()) {
+                return Err(format!("duplicate stage name '{}'", s.name));
+            }
+            if seeds.contains(&s.output) {
+                return Err(format!(
+                    "stage '{}' output '{}' shadows a seed edge",
+                    s.name, s.output
+                ));
+            }
+        }
+        let mut outputs = BTreeSet::new();
+        for s in &self.stages {
+            if !outputs.insert(s.output.clone()) {
+                return Err(format!("duplicate output edge '{}'", s.output));
+            }
+        }
+        let mut done = vec![false; self.stages.len()];
+        for _ in 0..self.stages.len() {
+            let Some(i) = self.next_ready_inner(&done, &avail) else {
+                break;
+            };
+            avail.insert(self.stages[i].output.clone());
+            done[i] = true;
+        }
+        if let Some(i) = done.iter().position(|d| !d) {
+            return Err(format!(
+                "stage '{}' can never run: an input is neither a seed nor \
+                 another stage's output (cycle or missing edge)",
+                self.stages[i].name
+            ));
+        }
+        Ok(())
+    }
+
+    /// The lowest-index stage that has not run this round and whose
+    /// inputs are all materialized, if any.
+    pub fn next_ready(&self, done: &[bool], env: &BTreeMap<String, TensorVal>) -> Option<usize> {
+        let avail: BTreeSet<String> = env.keys().cloned().collect();
+        self.next_ready_inner(done, &avail)
+    }
+
+    fn next_ready_inner(&self, done: &[bool], avail: &BTreeSet<String>) -> Option<usize> {
+        self.stages
+            .iter()
+            .enumerate()
+            .position(|(i, s)| !done[i] && s.inputs.iter().all(|e| avail.contains(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, inputs: &[&str], output: &str) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.into(),
+            op: StageOp::Sddmm,
+        }
+    }
+
+    fn seeds(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn a_chain_validates_and_orders_deterministically() {
+        let dag = PipelineDag {
+            stages: vec![stage("a", &["A"], "S"), stage("b", &["S"], "Z")],
+        };
+        dag.validate(&seeds(&["A"])).expect("valid");
+        let mut env = BTreeMap::new();
+        env.insert(
+            "A".to_string(),
+            TensorVal::Dense(std::sync::Arc::new(vec![])),
+        );
+        let done = vec![false, false];
+        assert_eq!(dag.next_ready(&done, &env), Some(0));
+        // Stage b is not ready until a's output lands.
+        assert_eq!(dag.next_ready(&[true, false], &env), None);
+        env.insert(
+            "S".to_string(),
+            TensorVal::Dense(std::sync::Arc::new(vec![])),
+        );
+        assert_eq!(dag.next_ready(&[true, false], &env), Some(1));
+    }
+
+    #[test]
+    fn a_cycle_is_rejected() {
+        let dag = PipelineDag {
+            stages: vec![stage("a", &["Z"], "S"), stage("b", &["S"], "Z")],
+        };
+        let err = dag.validate(&seeds(&["A"])).expect_err("cyclic");
+        assert!(err.contains("can never run"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_outputs_and_seed_shadowing_are_rejected() {
+        let dag = PipelineDag {
+            stages: vec![stage("a", &["A"], "S"), stage("b", &["A"], "S")],
+        };
+        assert!(dag
+            .validate(&seeds(&["A"]))
+            .expect_err("dup")
+            .contains("duplicate output"));
+        let dag = PipelineDag {
+            stages: vec![stage("a", &["A"], "A")],
+        };
+        assert!(dag
+            .validate(&seeds(&["A"]))
+            .expect_err("shadow")
+            .contains("shadows a seed"));
+    }
+}

@@ -17,6 +17,12 @@
 //! * `TMU_POLICY` — `round_robin`/`rr`, `weighted_fair`/`wf`,
 //!   `edf`/`earliest_deadline`, or `both` (default) to run the same
 //!   trace under round-robin and weighted-fair.
+//! * `TMU_ARRIVALS` — inter-arrival distribution: `uniform` (default;
+//!   traces byte-identical to the pre-Poisson binary) or `poisson`
+//!   (seeded exponential gaps with the same mean).
+//! * `TMU_APPS` — set to `1` to mix application-pipeline jobs
+//!   (GNN / CG / PageRank DAGs) into the trace alongside kernels and
+//!   expressions (default off).
 //! * `TMU_CHAOS` — injected slot faults per 1 000 scheduling quanta
 //!   (default 0: chaos off, output byte-identical to the
 //!   pre-resilience binary).
@@ -33,7 +39,8 @@ use tmu_bench::json::BenchRow;
 use tmu_bench::runner::parse_pos_int;
 use tmu_bench::Report;
 use tmu_serve::{
-    serve, synthesize, Policy, ResilienceConfig, ServeConfig, SlotFaultSpec, TraceConfig,
+    serve, synthesize, ArrivalKind, Policy, ResilienceConfig, ServeConfig, SlotFaultSpec,
+    TraceConfig,
 };
 
 fn knob(name: &str, default: u64) -> u64 {
@@ -66,11 +73,21 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> std::process::ExitCode {
+    let arrivals = match std::env::var("TMU_ARRIVALS").ok().as_deref() {
+        None | Some("") | Some("uniform") => ArrivalKind::Uniform,
+        Some("poisson") => ArrivalKind::Poisson,
+        Some(s) => {
+            eprintln!("warning: TMU_ARRIVALS={s:?} is not a distribution; using uniform");
+            ArrivalKind::Uniform
+        }
+    };
     let trace_cfg = TraceConfig {
         tenants: knob("TMU_TENANTS", 2) as u32,
         jobs: knob("TMU_SERVE_JOBS", 24) as u32,
         seed: knob("TMU_SEED", 0xC0FFEE),
         mean_gap: knob("TMU_GAP", 300),
+        arrivals,
+        with_apps: knob("TMU_APPS", 0) != 0,
         ..TraceConfig::default()
     };
     let slots = knob("TMU_SLOTS", 2) as usize;

@@ -14,11 +14,11 @@
 //! key order is fixed, floats are shortest-roundtrip, and NaN/∞ map to
 //! `null`.
 //!
-//! Schema (`schema_version` 5):
+//! Schema (`schema_version` 6):
 //!
 //! ```text
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "figures": {
 //!     "<figure>": [ { <BenchRow fields> }, ... ],
 //!     ...
@@ -46,6 +46,14 @@
 //! `shed`, and `checkpoint_cycles` to the tenant block (after
 //! `lat_p99`). They ride only on rows carrying a `tenant`, so every
 //! non-serving row stays byte-identical to v4.
+//!
+//! Version 6 adds the application-pipeline fields: `app` (which DAG
+//! application the row measures), `stage` (the DAG stage, when the row
+//! is a per-stage breakdown rather than end-to-end), `iterations`
+//! (DAG rounds run), and `cache_hit_rate` (the two-level stage cache's
+//! combined hit rate). All four appear only on rows tagged with an
+//! `app` by the `apps` binary, so every pre-existing row stays
+//! byte-identical to v5.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -190,6 +198,19 @@ pub struct BenchRow {
     /// (schema v4; `0` for the identity conversion; emitted with
     /// [`BenchRow::format`]).
     pub conv_cycles: Option<u64>,
+    /// Application the row measures (`"gnn"`, `"cg"`, `"pagerank"`;
+    /// schema v6). When set, the row carries the pipeline fields below;
+    /// untagged rows stay byte-identical to v5.
+    pub app: Option<String>,
+    /// DAG stage the row breaks out (`"sddmm"`, `"spmv"`, …), when the
+    /// row is a per-stage breakdown; end-to-end app rows omit the key
+    /// (schema v6; app rows only).
+    pub stage: Option<String>,
+    /// DAG rounds the application ran (schema v6; app rows only).
+    pub iterations: u64,
+    /// Combined tensor+program hit rate of the two-level stage cache
+    /// over the run (schema v6; app rows only).
+    pub cache_hit_rate: f64,
 }
 
 fn push_str(out: &mut String, s: &str) {
@@ -306,6 +327,17 @@ impl BenchRow {
             str_field!("format", fmt);
             u64_field!("conv_cycles", self.conv_cycles.unwrap_or(0));
         }
+        // Application-pipeline fields (schema v6): only rows the `apps`
+        // binary tags with an app carry them; every other figure's rows
+        // stay byte-identical to v5.
+        if let Some(app) = &self.app {
+            str_field!("app", app);
+            if let Some(stage) = &self.stage {
+                str_field!("stage", stage);
+            }
+            u64_field!("iterations", self.iterations);
+            f64_field!("cache_hit_rate", self.cache_hit_rate);
+        }
         // Resilience telemetry is opt-in: the keys appear only on rows
         // that failed, fell back, or ran with injected faults, keeping
         // fault-free bench.json output byte-identical to older schemas.
@@ -357,7 +389,7 @@ pub fn record(figure: &str, rows: Vec<BenchRow>) {
 
 fn render(figures: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
-    out.push_str("{\n\"schema_version\":5,\n\"figures\":{\n");
+    out.push_str("{\n\"schema_version\":6,\n\"figures\":{\n");
     let mut first_fig = true;
     for (figure, body) in figures {
         if !first_fig {
@@ -663,7 +695,7 @@ mod tests {
         );
         record("zz_test_fig_b", Vec::new());
         let s = render_bench_json();
-        assert!(s.contains("\"schema_version\":5"));
+        assert!(s.contains("\"schema_version\":6"));
         assert!(s.contains("\"zz_test_fig_a\":["));
         assert!(s.contains("\"zz_test_fig_b\":["));
         // Re-recording replaces, not appends.
@@ -904,6 +936,81 @@ mod tests {
             assert!(!p.contains(key), "v4-shaped row must omit {key}: {p}");
         }
         validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
+    }
+
+    #[test]
+    fn schema_v6_app_fields_pin_and_roundtrip() {
+        // A per-stage app row carries all four v6 keys, right after the
+        // outQ block (where the v3/v4 opt-in keys would sit)…
+        let staged = BenchRow {
+            figure: "apps".into(),
+            kernel: "gnn".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            app: Some("gnn".into()),
+            stage: Some("sddmm".into()),
+            iterations: 1,
+            cache_hit_rate: 0.75,
+            ..BenchRow::default()
+        };
+        let mut s = String::new();
+        staged.write(&mut s);
+        assert!(
+            s.contains(
+                "\"outq_read_to_write\":0,\"app\":\"gnn\",\"stage\":\"sddmm\",\
+                 \"iterations\":1,\"cache_hit_rate\":0.75}"
+            ),
+            "v6 app fields pinned after the outQ block: {s}"
+        );
+        validate(&format!("[{s}]")).expect("stage row must be well-formed JSON");
+
+        // …an end-to-end app row omits only the stage key…
+        let e2e = BenchRow {
+            app: Some("cg".into()),
+            iterations: 6,
+            cache_hit_rate: 0.5,
+            ..BenchRow::default()
+        };
+        let mut e = String::new();
+        e2e.write(&mut e);
+        assert!(
+            e.contains("\"app\":\"cg\",\"iterations\":6,\"cache_hit_rate\":0.5}"),
+            "{e}"
+        );
+        assert!(!e.contains("\"stage\""), "{e}");
+        validate(&format!("[{e}]")).expect("e2e row must be well-formed JSON");
+
+        // …while an untagged row emits none of them — byte-identical to
+        // the v5 layout even with nonzero pipeline counters set.
+        let plain = BenchRow {
+            figure: "fig10".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            iterations: 9,
+            cache_hit_rate: 0.9,
+            ..BenchRow::default()
+        };
+        let mut p = String::new();
+        plain.write(&mut p);
+        for key in ["\"app\"", "\"stage\"", "iterations", "cache_hit_rate"] {
+            assert!(!p.contains(key), "v5-shaped row must omit {key}: {p}");
+        }
+        validate(&format!("[{p}]")).expect("plain row must be well-formed JSON");
+
+        // The plain row is byte-for-byte what the v5 emitter produced:
+        // rebuilding it without the (ignored) pipeline counters yields
+        // identical bytes.
+        let mut v5 = String::new();
+        BenchRow {
+            figure: "fig10".into(),
+            kernel: "SpMV".into(),
+            engine: "tmu".into(),
+            machine: "table5".into(),
+            ..BenchRow::default()
+        }
+        .write(&mut v5);
+        assert_eq!(p, v5, "non-app rows must stay byte-identical to v5");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod data;
 pub mod mapping;
 pub mod mttkrp;
 pub mod pagerank;
+pub mod sddmm;
 pub mod spkadd;
 pub mod spmm;
 pub mod spmspm;

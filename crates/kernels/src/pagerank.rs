@@ -75,13 +75,20 @@ impl PageRank {
     /// Binds graph `adj` (rows list in-neighbours) for one iteration.
     pub fn new(adj_mat: &CsrMatrix) -> Self {
         let n = adj_mat.rows();
+        Self::with_ranks(adj_mat, vec![1.0 / n.max(1) as f64; n])
+    }
+
+    /// Binds graph `adj` with a caller-supplied current rank vector —
+    /// the shape the application DAG uses to iterate to convergence.
+    pub fn with_ranks(adj_mat: &CsrMatrix, rank_vals: Vec<f64>) -> Self {
+        let n = adj_mat.rows();
+        assert_eq!(rank_vals.len(), n, "rank vector must match vertex count");
         let mut map = AddressMap::new();
         let mut image = MemImage::new();
         let adj = CsrOnSim::bind(&mut map, &mut image, "adj", adj_mat);
         // Out-degrees from the transpose; isolated vertices get degree 1.
         let t = adj_mat.transpose();
         let deg_vals: Vec<f64> = (0..n).map(|j| (t.row(j).count().max(1)) as f64).collect();
-        let rank_vals: Vec<f64> = vec![1.0 / n as f64; n];
         let contrib_vals: Vec<f64> = rank_vals
             .iter()
             .zip(&deg_vals)
@@ -119,6 +126,38 @@ impl PageRank {
     /// The reference next-iteration ranks.
     pub fn reference(&self) -> &[f64] {
         &self.reference
+    }
+
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of a core.
+    pub fn outq_base(&self, core: usize) -> u64 {
+        self.outq_r[core].base
+    }
+
+    /// Output-ranks region (for standalone handlers).
+    pub fn out_region(&self) -> Region {
+        self.out_r
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> usize {
+        self.adj.rows
+    }
+
+    /// Functional gather-phase execution over the full vertex range:
+    /// next-iteration ranks exactly as the callback handler computes them.
+    pub fn functional(&self, lanes: usize) -> Vec<f64> {
+        let prog = Arc::new(self.build_program((0, self.adj.rows), lanes));
+        let mut handler = PageRankHandler::new(self.out_r, 0, self.adj.rows);
+        let mut vm = VecMachine::new();
+        tmu::for_each_entry(&prog, &self.image, |e| {
+            handler.handle(e, OpId::NONE, &mut vm);
+        });
+        handler.out
     }
 
     fn ctx(&self) -> Ctx {

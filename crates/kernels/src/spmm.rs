@@ -98,6 +98,33 @@ impl Spmm {
         &self.reference
     }
 
+    /// Shared memory image (for standalone engine experiments).
+    pub fn image_handle(&self) -> Arc<MemImage> {
+        Arc::clone(&self.image)
+    }
+
+    /// outQ base address of a core.
+    pub fn outq_base(&self, core: usize) -> u64 {
+        self.outq_r[core].base
+    }
+
+    /// Output region (for standalone handlers).
+    pub fn z_region(&self) -> Region {
+        self.z_r
+    }
+
+    /// Functional execution over the full row range: the product rows
+    /// (row-major) exactly as the callback handler computes them.
+    pub fn functional(&self, lanes: usize) -> Vec<f64> {
+        let prog = Arc::new(self.build_program((0, self.a.rows), lanes));
+        let mut handler = SpmmHandler::new(self.z_r, 0, lanes);
+        let mut vm = VecMachine::new();
+        tmu::for_each_entry(&prog, &self.image, |e| {
+            handler.handle(e, OpId::NONE, &mut vm);
+        });
+        handler.z
+    }
+
     fn ctx(&self) -> Ctx {
         Ctx {
             ptrs: Arc::clone(&self.a.ptrs),

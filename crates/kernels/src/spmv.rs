@@ -66,12 +66,20 @@ pub struct Spmv {
 impl Spmv {
     /// Binds matrix `a` (with a deterministic dense vector) for simulation.
     pub fn new(a: &CsrMatrix) -> Self {
-        let mut map = AddressMap::new();
-        let mut image = MemImage::new();
-        let sim = CsrOnSim::bind(&mut map, &mut image, "a", a);
         let bvec: Vec<f64> = (0..a.cols())
             .map(|j| 0.5 + (j % 97) as f64 / 97.0)
             .collect();
+        Self::with_vector(a, bvec)
+    }
+
+    /// Binds matrix `a` with a caller-supplied dense vector (`cols`
+    /// entries) — the shape application pipelines use to thread an
+    /// iterate through repeated SpMV stages.
+    pub fn with_vector(a: &CsrMatrix, bvec: Vec<f64>) -> Self {
+        assert_eq!(bvec.len(), a.cols(), "vector length must match cols");
+        let mut map = AddressMap::new();
+        let mut image = MemImage::new();
+        let sim = CsrOnSim::bind(&mut map, &mut image, "a", a);
         let b = DenseOnSim::bind(&mut map, &mut image, "b", bvec);
         let x_r = map.alloc_elems("x", a.rows().max(1), 8);
         let outq_r = (0..8)

@@ -7,7 +7,21 @@
 //! is a pure function of its [`TraceConfig`]: same config, same jobs,
 //! regardless of host, thread count, or `TMU_JOBS`.
 
+use tmu_apps::AppKind;
+
 use crate::job::{JobKind, JobSpec, KernelKind};
+
+/// The inter-arrival gap distribution of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalKind {
+    /// Gaps uniform in `0..2*mean_gap` (the historical generator).
+    Uniform,
+    /// Exponential gaps with mean `mean_gap` — a Poisson arrival
+    /// process, the classic open-loop load model. Sampled by inverse
+    /// transform with a self-contained `ln`, so traces stay a pure
+    /// function of the config on every host.
+    Poisson,
+}
 
 /// Parameters of a synthetic trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -16,13 +30,19 @@ pub struct TraceConfig {
     pub tenants: u32,
     /// Total jobs across all tenants.
     pub jobs: u32,
-    /// Mean inter-arrival gap in cycles (gaps are uniform in
-    /// `0..2*mean_gap`, so this is the mean of the offered load).
+    /// Mean inter-arrival gap in cycles (the mean of the offered load
+    /// under either arrival distribution).
     pub mean_gap: u64,
     /// RNG seed; every derived choice flows from it.
     pub seed: u64,
     /// Include einsum-expression jobs in the mix (alongside kernels).
     pub with_exprs: bool,
+    /// Include application-pipeline jobs (GNN / CG / PageRank) in the
+    /// mix. Off by default so pre-app traces stay byte-identical.
+    pub with_apps: bool,
+    /// Inter-arrival distribution ([`ArrivalKind::Uniform`] by default —
+    /// the pre-Poisson traces stay byte-identical).
+    pub arrivals: ArrivalKind,
     /// Deadline slack in cycles: every job's deadline is its arrival
     /// plus this. 0 generates no deadlines (the default — traces stay
     /// identical to the pre-deadline generator).
@@ -37,6 +57,8 @@ impl Default for TraceConfig {
             mean_gap: 30_000,
             seed: 0xC0FFEE,
             with_exprs: true,
+            with_apps: false,
+            arrivals: ArrivalKind::Uniform,
             deadline_slack: 0,
         }
     }
@@ -62,6 +84,39 @@ impl Mix {
             self.next() % bound
         }
     }
+
+    /// A uniform draw in `(0, 1]` — the open end at 0 keeps the
+    /// exponential sampler's `ln` argument strictly positive.
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One exponential gap with the given mean, by inverse transform:
+    /// `gap = mean * (-ln u)`.
+    fn exp_gap(&mut self, mean: u64) -> u64 {
+        (mean as f64 * -ln_unit(self.unit())).round() as u64
+    }
+}
+
+/// `ln x` for `x` in `(0, 1]`, self-contained so traces never depend on
+/// the host libm. Decomposes `x = m * 2^e` with `m` in `[1, 2)` from the
+/// IEEE-754 bits, then sums the atanh series for `ln m` — with
+/// `s = (m-1)/(m+1)` at most 1/3, twelve odd terms are below one ulp.
+fn ln_unit(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x <= 1.0);
+    const LN_2: f64 = core::f64::consts::LN_2;
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let s = (m - 1.0) / (m + 1.0);
+    let s2 = s * s;
+    let mut term = s;
+    let mut sum = 0.0;
+    for k in 0..12u32 {
+        sum += term / f64::from(2 * k + 1);
+        term *= s2;
+    }
+    e as f64 * LN_2 + 2.0 * sum
 }
 
 /// The scheduling weight of a tenant: tenant 0 is the heavy tenant
@@ -81,11 +136,14 @@ pub fn synthesize(cfg: &TraceConfig) -> Vec<JobSpec> {
     let tenants = cfg.tenants.max(1);
     let mut rng = Mix(cfg.seed ^ 0x5E41_1E5E_0000_0001);
     // A small set of shapes (not one per job) so the build cache batches.
-    let shapes = shape_pool(cfg.with_exprs);
+    let shapes = shape_pool(cfg.with_exprs, cfg.with_apps);
     let mut jobs = Vec::with_capacity(cfg.jobs as usize);
     let mut clock = 0u64;
     for id in 0..cfg.jobs {
-        clock += rng.below(2 * cfg.mean_gap.max(1));
+        clock += match cfg.arrivals {
+            ArrivalKind::Uniform => rng.below(2 * cfg.mean_gap.max(1)),
+            ArrivalKind::Poisson => rng.exp_gap(cfg.mean_gap.max(1)),
+        };
         let tenant = (rng.next() % u64::from(tenants)) as u32;
         let kind = shapes[rng.below(shapes.len() as u64) as usize].clone();
         jobs.push(JobSpec {
@@ -100,7 +158,7 @@ pub fn synthesize(cfg: &TraceConfig) -> Vec<JobSpec> {
     jobs
 }
 
-fn shape_pool(with_exprs: bool) -> Vec<JobKind> {
+fn shape_pool(with_exprs: bool, with_apps: bool) -> Vec<JobKind> {
     let mut shapes: Vec<JobKind> = [
         (KernelKind::Spmv, 96, 4),
         (KernelKind::Spmspv, 96, 4),
@@ -129,6 +187,29 @@ fn shape_pool(with_exprs: bool) -> Vec<JobKind> {
             rows: 48,
             nnz_per_row: 3,
             seed: 22,
+        });
+    }
+    if with_apps {
+        shapes.push(JobKind::App {
+            app: AppKind::Gnn,
+            rows: 48,
+            nnz_per_row: 3,
+            seed: 23,
+            max_iters: 1,
+        });
+        shapes.push(JobKind::App {
+            app: AppKind::Cg,
+            rows: 64,
+            nnz_per_row: 4,
+            seed: 23,
+            max_iters: 6,
+        });
+        shapes.push(JobKind::App {
+            app: AppKind::PageRank,
+            rows: 64,
+            nnz_per_row: 4,
+            seed: 23,
+            max_iters: 5,
         });
     }
     shapes
@@ -165,5 +246,78 @@ mod tests {
         assert!(slacked
             .iter()
             .all(|j| j.deadline == Some(j.arrival + 100_000)));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_with_the_right_mean() {
+        let cfg = TraceConfig {
+            jobs: 512,
+            arrivals: ArrivalKind::Poisson,
+            ..TraceConfig::default()
+        };
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(a, b, "Poisson traces must be reproducible");
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+
+        // Exponential gaps are bursty: the empirical mean should land
+        // near mean_gap, and some gaps must exceed 2*mean_gap (which the
+        // uniform generator can never produce).
+        let gaps: Vec<u64> = std::iter::once(a[0].arrival)
+            .chain(a.windows(2).map(|w| w[1].arrival - w[0].arrival))
+            .collect();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let target = cfg.mean_gap as f64;
+        assert!(
+            (mean - target).abs() < 0.2 * target,
+            "empirical mean {mean} strays from {target}"
+        );
+        assert!(
+            gaps.iter().any(|&g| g > 2 * cfg.mean_gap),
+            "an exponential tail must cross the uniform generator's cap"
+        );
+
+        // Same jobs, different clocks: the shape/tenant stream is shared
+        // with the uniform generator, only the arrival times move.
+        let uniform = synthesize(&TraceConfig {
+            arrivals: ArrivalKind::Uniform,
+            ..cfg
+        });
+        assert_ne!(a, uniform);
+    }
+
+    #[test]
+    fn app_shapes_join_the_pool_only_on_request() {
+        let base = TraceConfig {
+            jobs: 64,
+            ..TraceConfig::default()
+        };
+        let without = synthesize(&base);
+        assert!(without
+            .iter()
+            .all(|j| !matches!(j.kind, JobKind::App { .. })));
+        let with = synthesize(&TraceConfig {
+            with_apps: true,
+            ..base
+        });
+        assert!(
+            with.iter().any(|j| matches!(j.kind, JobKind::App { .. })),
+            "64 draws over a 10-shape pool must hit an app shape"
+        );
+    }
+
+    #[test]
+    fn self_contained_ln_matches_libm() {
+        let mut rng = Mix(99);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            let got = ln_unit(u);
+            let want = u.ln();
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "ln({u}) = {got}, libm says {want}"
+            );
+        }
+        assert_eq!(ln_unit(1.0), 0.0);
     }
 }

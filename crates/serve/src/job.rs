@@ -1,5 +1,9 @@
 //! Job specifications: what a tenant asks the service to run.
 
+use tmu_apps::{AppKind, AppSpec};
+
+use crate::build::SERVE_LANES;
+
 /// Which Table 4 kernel a [`JobKind::Kernel`] job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum KernelKind {
@@ -55,14 +59,53 @@ pub enum JobKind {
         /// Generator seed.
         seed: u64,
     },
+    /// A multi-stage application pipeline (`tmu-apps` DAG). App jobs
+    /// share builds through the two-level stage cache rather than this
+    /// enum's memo, so equal `App` kinds still batch their tensors and
+    /// programs — just one level down.
+    App {
+        /// Which application.
+        app: AppKind,
+        /// Rows (= cols) of the synthetic square input.
+        rows: u32,
+        /// Nonzeros per row of the synthetic input.
+        nnz_per_row: u32,
+        /// Generator seed.
+        seed: u64,
+        /// Iteration cap for the iterative apps.
+        max_iters: u32,
+    },
 }
 
 impl JobKind {
-    /// Short label for reports (kernel name or `"expr"`).
+    /// Short label for reports (kernel name, `"expr"`, or the app name).
     pub fn label(&self) -> &str {
         match self {
             JobKind::Kernel { kind, .. } => kind.name(),
             JobKind::Expr { .. } => "expr",
+            JobKind::App { app, .. } => app.name(),
+        }
+    }
+
+    /// The full application spec (with the serving lane count) if this
+    /// is an [`JobKind::App`] job.
+    pub fn app_spec(&self) -> Option<AppSpec> {
+        match self {
+            JobKind::App {
+                app,
+                rows,
+                nnz_per_row,
+                seed,
+                max_iters,
+            } => Some(AppSpec {
+                app: *app,
+                rows: *rows as usize,
+                nnz_per_row: *nnz_per_row as usize,
+                seed: *seed,
+                max_iters: *max_iters,
+                lanes: SERVE_LANES,
+            }),
+            _ => None,
         }
     }
 }

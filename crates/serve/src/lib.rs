@@ -34,7 +34,7 @@
 //!     mean_gap: 20_000,
 //!     seed: 7,
 //!     with_exprs: false,
-//!     deadline_slack: 0,
+//!     ..TraceConfig::default()
 //! });
 //! let out = serve(
 //!     ServeConfig {
@@ -60,7 +60,7 @@ mod policy;
 mod resilience;
 mod server;
 
-pub use arrivals::{synthesize, tenant_weight, TraceConfig};
+pub use arrivals::{synthesize, tenant_weight, ArrivalKind, TraceConfig};
 pub use build::{BuildCache, BuiltJob, SERVE_LANES};
 pub use digest::{DigestHandler, EntryDigest};
 pub use job::{JobKind, JobSpec, KernelKind};
@@ -70,4 +70,6 @@ pub use resilience::{
     CircuitBreaker, FailReason, FailedJob, JobFault, ResilienceConfig, ShedCounts, SlotFaultEvent,
     SlotFaultKind, SlotFaultPlan, SlotFaultSpec, SlotFaultStats,
 };
-pub use server::{serve, solo_digest, ServeConfig, ServeError, ServeOutcome, Server};
+pub use server::{
+    serve, solo_app, solo_digest, AppSoloRun, ServeConfig, ServeError, ServeOutcome, Server,
+};

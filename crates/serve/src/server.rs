@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use tmu::context::ContextSnapshot;
 use tmu::{OutQStats, TmuAccelerator, TmuConfig, TmuError};
+use tmu_apps::{AppExec, AppSpec, StageBuild, StageCaches, StageRecord, TenantCacheStats};
 use tmu_sim::{
     MemSysConfig, ServedCore, SimError, SlotFaultKind, SlotFaultPlan, SlotFaultStats, SlotStats,
 };
@@ -112,6 +113,12 @@ pub struct ServeOutcome {
     pub build_hits: u64,
     /// Distinct shapes built.
     pub build_misses: u64,
+    /// Job builds evicted under the `TMU_BUILD_CACHE_CAP` bound.
+    pub build_evictions: u64,
+    /// Per-tenant two-level stage-cache counters (application jobs).
+    pub tenant_cache: BTreeMap<u32, TenantCacheStats>,
+    /// Stage-cache evictions `(tensors, programs)` under the same bound.
+    pub stage_evictions: (u64, u64),
     /// Per-slot statistics (busy/idle cycles, reboots, tenant
     /// attribution).
     pub slots: Vec<SlotStats>,
@@ -143,6 +150,15 @@ impl ServeOutcome {
     /// terminally failed. No silent loss, ever.
     pub fn conserves(&self, arrivals: usize) -> bool {
         self.outcomes.len() as u64 + self.failed.len() as u64 + self.shed_total() == arrivals as u64
+    }
+
+    /// A tenant's two-level stage-cache hit rate (0.0 if it ran no app
+    /// jobs).
+    pub fn cache_hit_rate(&self, tenant: u32) -> f64 {
+        self.tenant_cache
+            .get(&tenant)
+            .map(TenantCacheStats::hit_rate)
+            .unwrap_or(0.0)
     }
 }
 
@@ -204,10 +220,43 @@ struct Checkpoint {
     stats: OutQStats,
 }
 
+/// An application job's serving-side state. The engine runs one DAG
+/// stage at a time; `handler` is the job's cumulative digest as of the
+/// last completed stage boundary — the durable restart point. App jobs
+/// never take mid-stage durable checkpoints: a fault restarts the
+/// *stage* (from `handler`), never the whole job.
+struct AppWork {
+    exec: AppExec,
+    /// The currently-dispatched stage build, if one is in flight (it
+    /// survives faults — the restart re-dispatches the same build).
+    stage: Option<StageBuild>,
+    /// Cumulative digest at the last stage boundary.
+    handler: DigestHandler,
+    /// Engine cycles accumulated by the in-flight stage (across
+    /// preemptions and retry attempts).
+    stage_cycles: u64,
+}
+
+/// What a waiting job runs: a single compiled program, or a multi-stage
+/// application pipeline.
+enum Work {
+    Single(Arc<BuiltJob>),
+    App(Box<AppWork>),
+}
+
+impl Work {
+    fn label(&self) -> String {
+        match self {
+            Work::Single(b) => b.label.clone(),
+            Work::App(a) => a.exec.label(),
+        }
+    }
+}
+
 /// A job waiting in (or parked back into) a tenant queue.
 struct Waiting {
     spec: JobSpec,
-    built: Arc<BuiltJob>,
+    work: Work,
     parked: Option<Parked>,
     checkpoint: Option<Checkpoint>,
     first_start: Option<u64>,
@@ -393,6 +442,9 @@ impl Server {
             };
             run.waiting.service_cycles += out.cycles;
             run.waiting.since_ckpt += out.cycles;
+            if let Work::App(app) = &mut run.waiting.work {
+                app.stage_cycles += out.cycles;
+            }
             policy.charge(tenant, run.waiting.spec.weight, out.cycles);
 
             // A retired engine reports done, so check degradation before
@@ -415,35 +467,80 @@ impl Server {
 
             if out.finished {
                 let now = slots[s].core.now();
+                // An application stage draining is a stage boundary, not
+                // necessarily job completion: fold the engine's digest
+                // back into the app, materialize the stage output, and
+                // either finish the job or requeue it for its next stage.
+                let (waiting, digest) = if let Work::App(_) = run.waiting.work {
+                    let Running {
+                        mut waiting,
+                        engine,
+                        ..
+                    } = run;
+                    let jid = waiting.spec.id;
+                    let Work::App(app) = &mut waiting.work else {
+                        unreachable!("matched above")
+                    };
+                    app.handler = engine.into_handler();
+                    app.stage = None;
+                    trace_event(
+                        now,
+                        EventKind::StageDone,
+                        (u64::from(tenant) << 32) | u64::from(jid),
+                    );
+                    let host = app
+                        .exec
+                        .complete_stage(app.stage_cycles)
+                        .map_err(|detail| ServeError::Build { job: jid, detail })?;
+                    app.stage_cycles = 0;
+                    // The stage-boundary host phase (functional
+                    // materialization + round-end dense work) runs on the
+                    // slot, attributed to the tenant.
+                    slots[s].core.charge_busy(tenant, host);
+                    waiting.service_cycles += host;
+                    if !app.exec.finished() {
+                        // Stage boundaries are scheduling points: the job
+                        // re-enters its tenant queue (keeping its FIFO
+                        // position) and the policy repicks.
+                        queues.entry(tenant).or_default().push_front(waiting);
+                        continue;
+                    }
+                    let digest = app.handler.digest();
+                    (waiting, digest)
+                } else {
+                    let digest = run.engine.handler().digest();
+                    (run.waiting, digest)
+                };
+                let now = slots[s].core.now();
                 trace_event(
                     now,
                     EventKind::TenantComplete,
-                    (u64::from(tenant) << 32) | u64::from(run.waiting.spec.id),
+                    (u64::from(tenant) << 32) | u64::from(waiting.spec.id),
                 );
-                let deadline_missed = run.waiting.spec.deadline.is_some_and(|d| now > d);
+                let deadline_missed = waiting.spec.deadline.is_some_and(|d| now > d);
                 if deadline_missed {
                     state.deadline_misses += 1;
                     trace_event(
                         now,
                         EventKind::DeadlineMiss,
-                        (u64::from(tenant) << 32) | u64::from(run.waiting.spec.id),
+                        (u64::from(tenant) << 32) | u64::from(waiting.spec.id),
                     );
                 }
                 if rcfg.breaker_threshold > 0 {
                     state.breakers.entry(tenant).or_default().record_success();
                 }
                 outcomes.push(JobOutcome {
-                    id: run.waiting.spec.id,
+                    id: waiting.spec.id,
                     tenant,
-                    label: run.waiting.built.label.clone(),
-                    arrival: run.waiting.spec.arrival,
-                    first_start: run.waiting.first_start.unwrap_or(now),
+                    label: waiting.work.label(),
+                    arrival: waiting.spec.arrival,
+                    first_start: waiting.first_start.unwrap_or(now),
                     completion: now,
-                    service_cycles: run.waiting.service_cycles,
-                    preemptions: run.waiting.preemptions,
-                    retries: run.waiting.attempt,
+                    service_cycles: waiting.service_cycles,
+                    preemptions: waiting.preemptions,
+                    retries: waiting.attempt,
                     deadline_missed,
-                    digest: run.engine.handler().digest(),
+                    digest,
                 });
                 continue;
             }
@@ -514,6 +611,9 @@ impl Server {
             if rcfg.checkpoint_every > 0
                 && run.waiting.since_ckpt >= rcfg.checkpoint_every
                 && progressed
+                // App jobs take durable restart points only at stage
+                // boundaries; mid-stage snapshots stay live-park-only.
+                && matches!(run.waiting.work, Work::Single(_))
             {
                 let now = slots[s].core.now();
                 let snap = run
@@ -578,12 +678,16 @@ impl Server {
                 waiting.preemptions += 1;
                 // A park is a free checkpoint: the snapshot is durable,
                 // so refresh the job's restart point while we have it.
-                waiting.checkpoint = Some(Checkpoint {
-                    snap: snap.clone(),
-                    handler: handler.clone(),
-                    stats: stats.lock().expect("outq stats lock").clone(),
-                });
-                waiting.since_ckpt = 0;
+                // App jobs restart only from stage boundaries, so their
+                // park stays live-only (no durable checkpoint refresh).
+                if matches!(waiting.work, Work::Single(_)) {
+                    waiting.checkpoint = Some(Checkpoint {
+                        snap: snap.clone(),
+                        handler: handler.clone(),
+                        stats: stats.lock().expect("outq stats lock").clone(),
+                    });
+                    waiting.since_ckpt = 0;
+                }
                 waiting.parked = Some(Parked {
                     snap,
                     handler,
@@ -623,6 +727,9 @@ impl Server {
             preemptions,
             build_hits: self.cache.hits(),
             build_misses: self.cache.misses(),
+            build_evictions: self.cache.evictions(),
+            tenant_cache: self.cache.stages().tenant_stats().clone(),
+            stage_evictions: self.cache.stages().evictions(),
             slots: slots
                 .into_iter()
                 .map(|sl| sl.core.stats().clone())
@@ -631,50 +738,103 @@ impl Server {
     }
 
     /// Installs `waiting` on `slot` — fresh engine for a first dispatch,
-    /// [`TmuAccelerator::resume_from`] for a parked context.
-    fn dispatch(&self, slot: &mut Slot, mut waiting: Waiting) -> Result<(), ServeError> {
+    /// [`TmuAccelerator::resume_from`] for a parked context. For app jobs
+    /// the engine runs the job's *current DAG stage*, built (or reused)
+    /// through the two-level stage cache.
+    fn dispatch(&mut self, slot: &mut Slot, mut waiting: Waiting) -> Result<(), ServeError> {
         let now = slot.core.now();
         // Context install penalty: the slot burns the switch cost before
         // the engine runs.
         slot.core.skip_idle_to(now + self.cfg.ctx_switch_cycles);
-        let outq_base = job_outq_base(&waiting.built, waiting.spec.id);
         // Each attempt re-derives its engine fault seed, so a retry does
         // not deterministically replay the exact fault that killed it.
         let faults = self.cfg.resilience.job_faults.for_attempt(waiting.attempt);
-        let mut engine = match waiting.parked.take() {
-            // A live parked context (preempt/checkpoint park) resumes
-            // as-is: its snapshot already carries this attempt's config.
-            Some(parked) => TmuAccelerator::resume_from(
-                &parked.snap,
-                Arc::clone(&waiting.built.image),
-                parked.handler,
-                outq_base,
-                parked.stats,
-            )?,
-            None => match &waiting.checkpoint {
-                // Restart after a fault: resume from the durable
-                // checkpoint with a fresh stats cell seeded from the
-                // frozen copy (the dead incarnation's live handle kept
-                // mutating past the save point).
-                Some(ckpt) => {
-                    let mut snap = ckpt.snap.clone();
-                    snap.config = snap.config.with_faults(faults);
-                    TmuAccelerator::resume_from(
-                        &snap,
-                        Arc::clone(&waiting.built.image),
-                        ckpt.handler.clone(),
+        let tenant = waiting.spec.tenant;
+        let jid = waiting.spec.id;
+        let parked = waiting.parked.take();
+        let mut engine = match &mut waiting.work {
+            Work::Single(built) => {
+                let outq_base = job_outq_base(built, jid);
+                match parked {
+                    // A live parked context (preempt/checkpoint park)
+                    // resumes as-is: its snapshot already carries this
+                    // attempt's config.
+                    Some(parked) => TmuAccelerator::resume_from(
+                        &parked.snap,
+                        Arc::clone(&built.image),
+                        parked.handler,
                         outq_base,
-                        Arc::new(Mutex::new(ckpt.stats.clone())),
-                    )?
+                        parked.stats,
+                    )?,
+                    None => match &waiting.checkpoint {
+                        // Restart after a fault: resume from the durable
+                        // checkpoint with a fresh stats cell seeded from
+                        // the frozen copy (the dead incarnation's live
+                        // handle kept mutating past the save point).
+                        Some(ckpt) => {
+                            let mut snap = ckpt.snap.clone();
+                            snap.config = snap.config.with_faults(faults);
+                            TmuAccelerator::resume_from(
+                                &snap,
+                                Arc::clone(&built.image),
+                                ckpt.handler.clone(),
+                                outq_base,
+                                Arc::new(Mutex::new(ckpt.stats.clone())),
+                            )?
+                        }
+                        None => TmuAccelerator::try_new(
+                            TmuConfig::paper().with_faults(faults),
+                            Arc::clone(&built.program),
+                            Arc::clone(&built.image),
+                            DigestHandler::new(),
+                            outq_base,
+                        )?,
+                    },
                 }
-                None => TmuAccelerator::try_new(
-                    TmuConfig::paper().with_faults(faults),
-                    Arc::clone(&waiting.built.program),
-                    Arc::clone(&waiting.built.image),
-                    DigestHandler::new(),
-                    outq_base,
-                )?,
-            },
+            }
+            Work::App(app) => {
+                // Pin the current stage's build if it is not pinned yet —
+                // a fault restart re-dispatches the same pinned build, so
+                // the retried stage replays identically.
+                if app.stage.is_none() {
+                    let sb = app
+                        .exec
+                        .next_stage(self.cache.stages_mut(), tenant)
+                        .map_err(|detail| ServeError::Build { job: jid, detail })?
+                        .ok_or_else(|| ServeError::Build {
+                            job: jid,
+                            detail: "dispatched a finished app".into(),
+                        })?;
+                    trace_event(
+                        slot.core.now(),
+                        EventKind::StageStart,
+                        (u64::from(tenant) << 32) | u64::from(jid),
+                    );
+                    app.stage = Some(sb);
+                }
+                let stage = app.stage.as_ref().expect("pinned above");
+                let outq_base = stage.outq_base + (u64::from(jid) << 28);
+                match parked {
+                    // Mid-stage live park: resume the quiesced engine.
+                    Some(parked) => TmuAccelerator::resume_from(
+                        &parked.snap,
+                        Arc::clone(&stage.image),
+                        parked.handler,
+                        outq_base,
+                        parked.stats,
+                    )?,
+                    // Fresh dispatch or fault restart: the stage starts
+                    // over, seeded with the digest accumulated through
+                    // the last completed stage boundary.
+                    None => TmuAccelerator::try_new(
+                        TmuConfig::paper().with_faults(faults),
+                        Arc::clone(&stage.program),
+                        Arc::clone(&stage.image),
+                        app.handler.clone(),
+                        outq_base,
+                    )?,
+                }
+            }
         };
         engine.set_tenant(waiting.spec.tenant);
         if waiting.first_start.is_none() {
@@ -781,7 +941,7 @@ fn fault_job(
         state.failed.push(FailedJob {
             id: waiting.spec.id,
             tenant,
-            label: waiting.built.label.clone(),
+            label: waiting.work.label(),
             arrival: waiting.spec.arrival,
             attempts: waiting.attempt,
             reason: FailReason::RetryBudgetExhausted {
@@ -842,13 +1002,29 @@ fn admit(
             trace_event(now, EventKind::TenantReject, u64::from(spec.tenant));
             continue;
         }
-        let built = cache.get(&spec.kind).map_err(|detail| ServeError::Build {
-            job: spec.id,
-            detail,
-        })?;
+        let work = match spec.kind.app_spec() {
+            // App jobs build lazily, stage by stage, through the
+            // two-level stage cache; admission just validates the DAG
+            // and seeds the pipeline's base tensors.
+            Some(aspec) => Work::App(Box::new(AppWork {
+                exec: AppExec::new(aspec, cache.stages_mut(), spec.tenant).map_err(|detail| {
+                    ServeError::Build {
+                        job: spec.id,
+                        detail,
+                    }
+                })?,
+                stage: None,
+                handler: DigestHandler::new(),
+                stage_cycles: 0,
+            })),
+            None => Work::Single(cache.get(&spec.kind).map_err(|detail| ServeError::Build {
+                job: spec.id,
+                detail,
+            })?),
+        };
         queue.push_back(Waiting {
             spec,
-            built,
+            work,
             parked: None,
             checkpoint: None,
             first_start: None,
@@ -895,4 +1071,60 @@ pub fn solo_digest(built: &BuiltJob, job_id: u32) -> Result<EntryDigest, ServeEr
     let out = slot.drive(&mut engine, 0, u64::MAX)?;
     debug_assert!(out.finished);
     Ok(engine.handler().digest())
+}
+
+/// What [`solo_app`] observed: the reference stream and cost profile a
+/// served app run must reproduce.
+#[derive(Debug, Clone)]
+pub struct AppSoloRun {
+    /// Cumulative FNV digest across every stage of every iteration.
+    pub digest: EntryDigest,
+    /// Per-stage records (engine + host cycles, by round).
+    pub records: Vec<StageRecord>,
+    /// Iterations (DAG rounds) the app ran.
+    pub iterations: u32,
+    /// End-to-end slot cycles, engine and host phases included.
+    pub cycles: u64,
+}
+
+/// Solo baseline for an application pipeline: runs the whole DAG alone
+/// on a fresh slot, one unpreempted engine run per stage, carrying one
+/// digest across all stages. The differential tests pin every served
+/// completion of the same spec — preempted, faulted, or cache-shared —
+/// bit-identical to this.
+pub fn solo_app(spec: AppSpec) -> Result<AppSoloRun, ServeError> {
+    let mut caches = StageCaches::new(0);
+    let mut exec = AppExec::new(spec, &mut caches, 0)
+        .map_err(|detail| ServeError::Build { job: 0, detail })?;
+    let mut slot = ServedCore::new(
+        tmu_sim::CoreConfig::neoverse_n1_like(),
+        MemSysConfig::table5(1),
+    );
+    let mut handler = DigestHandler::new();
+    while let Some(stage) = exec
+        .next_stage(&mut caches, 0)
+        .map_err(|detail| ServeError::Build { job: 0, detail })?
+    {
+        let t0 = slot.now();
+        let mut engine = TmuAccelerator::try_new(
+            TmuConfig::paper(),
+            Arc::clone(&stage.program),
+            Arc::clone(&stage.image),
+            handler.clone(),
+            stage.outq_base,
+        )?;
+        let out = slot.drive(&mut engine, 0, u64::MAX)?;
+        debug_assert!(out.finished);
+        handler = engine.into_handler();
+        let host = exec
+            .complete_stage(slot.now() - t0)
+            .map_err(|detail| ServeError::Build { job: 0, detail })?;
+        slot.charge_busy(0, host);
+    }
+    Ok(AppSoloRun {
+        digest: handler.digest(),
+        records: exec.records().to_vec(),
+        iterations: exec.iterations(),
+        cycles: slot.now(),
+    })
 }

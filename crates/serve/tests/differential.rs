@@ -167,7 +167,7 @@ fn serving_is_deterministic_for_a_fixed_seed() {
         mean_gap: 10_000,
         seed: 42,
         with_exprs: true,
-        deadline_slack: 0,
+        ..TraceConfig::default()
     };
     let cfg = ServeConfig {
         slots: 2,

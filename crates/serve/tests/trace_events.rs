@@ -1,0 +1,67 @@
+//! The serving layer's new pipeline trace events actually fire: a traced
+//! app mix emits `stage_start` / `stage_done` per dispatched stage and
+//! `tensor_cache_hit` when the two-level cache serves a base tensor.
+
+use tmu_serve::{serve, JobKind, JobSpec, Policy, ServeConfig};
+use tmu_trace::{TraceConfig, Tracer};
+
+#[test]
+fn served_apps_emit_stage_and_cache_events() {
+    let gnn = JobKind::App {
+        app: tmu_apps::AppKind::Gnn,
+        rows: 48,
+        nnz_per_row: 3,
+        seed: 23,
+        max_iters: 1,
+    };
+    // Two copies: the second admission hits the built-tensor cache.
+    let mut trace: Vec<JobSpec> = (0..2u32)
+        .map(|id| JobSpec {
+            id,
+            tenant: id,
+            arrival: u64::from(id) * 500,
+            weight: 1,
+            deadline: None,
+            kind: gnn.clone(),
+        })
+        .collect();
+    // One kernel job alongside, so the shape memo publishes its
+    // counters into the stats registry too.
+    trace.push(JobSpec {
+        id: 2,
+        tenant: 0,
+        arrival: 1_000,
+        weight: 1,
+        deadline: None,
+        kind: JobKind::Kernel {
+            kind: tmu_serve::KernelKind::Spmv,
+            rows: 96,
+            nnz_per_row: 4,
+            seed: 21,
+        },
+    });
+    tmu_trace::install(Tracer::new(TraceConfig::default()));
+    let out = serve(
+        ServeConfig {
+            slots: 1,
+            quantum: 2_000,
+            policy: Policy::RoundRobin,
+            ..ServeConfig::default()
+        },
+        trace,
+    )
+    .expect("traced app mix serves");
+    let tracer = tmu_trace::uninstall().expect("tracer installed");
+    assert_eq!(out.outcomes.len(), 3);
+
+    // The build-cache counters were mirrored into the stats registry.
+    assert_eq!(
+        tracer.registry().counter("serve.build_cache.misses"),
+        Some(1)
+    );
+
+    let json = tracer.chrome_json();
+    assert!(json.contains("\"stage_start\""), "{json}");
+    assert!(json.contains("\"stage_done\""), "{json}");
+    assert!(json.contains("\"tensor_cache_hit\""), "{json}");
+}

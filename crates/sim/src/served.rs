@@ -199,6 +199,22 @@ impl ServedCore {
         Ok(out.cycles)
     }
 
+    /// Charges `cycles` of host-side work to the slot, attributed to
+    /// `tenant`. Application pipelines use this for the dense
+    /// stage-boundary phases that run on the core but outside any engine
+    /// drive (axpy/dot updates, convergence tests, contribution
+    /// refreshes): the slot's clock advances and the cycles count as
+    /// busy, not idle.
+    pub fn charge_busy(&mut self, tenant: u32, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.core.account_gap(cycles);
+        self.now += cycles;
+        self.stats.busy_cycles += cycles;
+        *self.stats.tenant_cycles.entry(tenant).or_insert(0) += cycles;
+    }
+
     /// Rebuilds the slot after a crash or hang: fresh core and memory
     /// hierarchy from the retained configurations, all in-flight state of
     /// the dead incarnation discarded. The clock stays monotonic and
@@ -419,6 +435,18 @@ mod tests {
         assert_eq!(s.now(), before + 5_000);
         assert_eq!(s.stats().busy_cycles, 5_000, "hang cycles count as busy");
         assert_eq!(s.stats().tenant_cycles.get(&4).copied(), Some(5_000));
+    }
+
+    #[test]
+    fn charge_busy_advances_the_clock_and_attributes_the_tenant() {
+        let mut s = slot();
+        s.charge_busy(5, 1_200);
+        assert_eq!(s.now(), 1_200);
+        assert_eq!(s.stats().busy_cycles, 1_200);
+        assert_eq!(s.stats().idle_cycles, 0, "host work is busy, not idle");
+        assert_eq!(s.stats().tenant_cycles.get(&5).copied(), Some(1_200));
+        s.charge_busy(5, 0);
+        assert_eq!(s.now(), 1_200, "zero charge is a no-op");
     }
 
     #[test]

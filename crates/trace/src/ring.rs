@@ -96,6 +96,15 @@ pub enum EventKind {
     /// The format autotuner committed a per-input layout decision
     /// (payload: `picked format << 32 | stored nnz`, clamped).
     AutotunePick,
+    /// An application pipeline stage was dispatched onto a serving slot
+    /// (payload: `tenant << 32 | job id`).
+    StageStart,
+    /// An application pipeline stage drained and its output tensor was
+    /// materialized (payload: `tenant << 32 | job id`).
+    StageDone,
+    /// A pipeline stage's input tensor was served from the two-level
+    /// build cache instead of regenerated (payload: tenant id).
+    TensorCacheHit,
 
     // -- counter samples (serving layer) --
     /// Jobs waiting in one tenant's admission queue (sampled by the
@@ -179,6 +188,9 @@ impl EventKind {
             EventKind::MergerStall => "merger_stall",
             EventKind::FormatConvert => "format_convert",
             EventKind::AutotunePick => "autotune_pick",
+            EventKind::StageStart => "stage_start",
+            EventKind::StageDone => "stage_done",
+            EventKind::TensorCacheHit => "tensor_cache_hit",
             EventKind::QueueDepth => "queue_depth",
             EventKind::TuFetch => "tu_fetch",
             EventKind::TgStep => "tg_step",

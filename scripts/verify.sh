@@ -75,4 +75,20 @@ TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=edf \
     TMU_CHAOS=150 TMU_RETRY_BUDGET=5 TMU_CHECKPOINT_EVERY=600 \
     cargo run --release -q -p tmu-bench --bin serve
 
+echo "== application pipelines: DAG suite + trace events + GNN/CG serve smoke =="
+# The apps crate's DAG/executor/cache unit suites, then the served-DAG
+# differential grid (policies x random quanta x chaos faults, every
+# completion digest bit-identical to its solo run) and the
+# StageStart/StageDone/TensorCacheHit trace-event pinning.
+cargo test -q --release -p tmu-apps
+cargo test -q --release -p tmu-serve --test apps --test trace_events
+# Reduced-scale GNN + CG: solo stage breakdowns, then a served
+# two-tenant mix whose digests are re-verified at bench time; exits
+# nonzero on any divergence. Writes schema-v6 rows (figure "apps").
+TMU_SCALE=0.05 cargo run --release -q -p tmu-bench --bin apps
+# DAG jobs mixed into the synthetic serve trace with Poisson arrivals.
+TMU_SERVE_JOBS=12 TMU_TENANTS=2 TMU_POLICY=wf \
+    TMU_APPS=1 TMU_ARRIVALS=poisson \
+    cargo run --release -q -p tmu-bench --bin serve
+
 echo "verify.sh: all gates passed"
